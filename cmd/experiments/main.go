@@ -1,0 +1,57 @@
+// Command experiments regenerates every experiment table in EXPERIMENTS.md
+// (E1–E9): the machine-checked reproductions of the paper's theorems,
+// lemmas, and positioning claims.
+//
+// Usage:
+//
+//	experiments            # full scale (about a minute)
+//	experiments -quick     # reduced sweeps
+//	experiments -only E5   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick = flag.Bool("quick", false, "reduced sweep sizes")
+		only  = flag.String("only", "", "run a single experiment by ID (E1..E9)")
+		seed  = flag.Int64("seed", 20060723, "seed for sampled permutations and schedules")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	failures := 0
+	for _, e := range experiments.All() {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(tbl.Format())
+		fmt.Printf("   (%.2fs)\n\n", time.Since(start).Seconds())
+		if !tbl.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed their shape checks", failures)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Encoding: walk the information-theoretic heart of the proof. For a small
+// n, run the pipeline for every permutation of S_n, show each encoding E_π
+// (the paper's table of R/W/PR/SR/C cells with winner signatures), verify
+// the decoder reconstructs each execution from the bits alone, and compare
+// the measured bit lengths with the log₂(n!) floor that forces Ω(n log n).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/perm"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", repro.AlgoYangAnderson, "algorithm")
+		n        = flag.Int("n", 3, "number of processes (keep small: prints all n! encodings)")
+	)
+	flag.Parse()
+	if *n > 5 {
+		log.Fatalf("n=%d would print %d encodings; use n <= 5", *n, perm.Factorial(*n))
+	}
+
+	algo, err := repro.NewAlgorithm(*algoName, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pipeline over all of S_%d for %s\n\n", *n, algo.Name())
+	maxBits, sumBits, count := 0, 0, 0
+	perm.ForEach(*n, func(pi []int) bool {
+		proof, err := repro.Prove(algo, append([]int(nil), pi...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pi=%v  cost=%d  |E|=%d bits\n", pi, proof.Cost, proof.Encoding.BitLen)
+		fmt.Printf("  E = %s\n", proof.Encoding)
+		count++
+		sumBits += proof.Encoding.BitLen
+		if proof.Encoding.BitLen > maxBits {
+			maxBits = proof.Encoding.BitLen
+		}
+		return true
+	})
+
+	lg := repro.InformationBound(*n)
+	fmt.Printf("\n%d permutations, %d distinct encodings required\n", count, count)
+	fmt.Printf("mean |E| = %.1f bits, max |E| = %d bits\n", float64(sumBits)/float64(count), maxBits)
+	fmt.Printf("information floor log2(%d!) = %.1f bits — any decoder-unique encoding must reach it,\n", *n, lg)
+	fmt.Printf("and by Theorem 6.2 the execution cost is within a constant of the bits: Omega(n log n).\n")
+}

@@ -1,0 +1,193 @@
+// Package core ties the paper's three proof steps into one verified
+// pipeline and derives the lower bound numbers:
+//
+//	Construct(A, π) → (M, ≼)          (Section 5)
+//	Encode(M, ≼)    → E_π             (Section 6)
+//	Decode(A, E_π)  → α_π             (Section 7)
+//
+// Pipeline runs all three for one permutation and machine-checks every
+// theorem along the way: Theorem 5.5 (critical sections in π order),
+// Lemma 6.1 (linearization cost invariance, via the decoded execution's
+// cost), Theorem 6.2 (|E_π| = O(C)), and Theorem 7.4 (the decoded execution
+// is a linearization of (M, ≼)). Sweep utilities aggregate pipelines over
+// sets of permutations for the counting argument of Theorem 7.5: n!
+// distinct executions force max |E_π| ≥ log₂ n! bits, hence max C(α_π) =
+// Ω(n log n).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/construct"
+	"repro/internal/decode"
+	"repro/internal/encode"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/perm"
+	"repro/internal/program"
+	"repro/internal/verify"
+)
+
+// Pipeline is the verified result of running the full proof pipeline for
+// one (algorithm, permutation) pair.
+type Pipeline struct {
+	Factory  program.Factory
+	Perm     []int
+	Result   *construct.Result
+	Encoding *encode.Encoding
+	// Decoded is α_π = Decode(E_π): a linearization of (M, ≼).
+	Decoded model.Execution
+	// Cost is C(α_π), the state change cost of the decoded execution —
+	// equal to the cost of every linearization by Lemma 6.1.
+	Cost int
+}
+
+// Run executes Construct → Encode → Decode for the permutation and verifies
+// the pipeline's guarantees. Any verification failure is returned as an
+// error: a non-nil Pipeline is a machine-checked instance of the paper's
+// Sections 5-7 for this π.
+func Run(f program.Factory, pi []int) (*Pipeline, error) {
+	res, err := construct.Construct(f, pi)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encode.Encode(res.Set)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := decode.Decode(f, enc.Bits, enc.BitLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode(pi=%v): %w", pi, err)
+	}
+	// Theorem 7.4: the decoded execution is a linearization of (M, ≼).
+	if err := res.Set.CheckLinearization(dec); err != nil {
+		return nil, fmt.Errorf("core: decoded execution is not a linearization (Theorem 7.4): %w", err)
+	}
+	// The decoded execution is a real execution of A with the mutual
+	// exclusion properties, and critical sections follow π (Theorem 5.5).
+	if err := verify.MutexExecution(f, dec); err != nil {
+		return nil, fmt.Errorf("core: decoded execution invalid: %w", err)
+	}
+	if err := verify.EntryOrder(dec, pi); err != nil {
+		return nil, fmt.Errorf("core: Theorem 5.5 violated: %w", err)
+	}
+	_, sc, err := machine.ReplayExecution(f, dec)
+	if err != nil {
+		return nil, err
+	}
+	// Lemma 6.1: decoded cost equals the canonical linearization's cost.
+	canonical, err := res.Cost()
+	if err != nil {
+		return nil, err
+	}
+	if sc != canonical {
+		return nil, fmt.Errorf("core: decoded cost %d ≠ canonical linearization cost %d (Lemma 6.1)", sc, canonical)
+	}
+	return &Pipeline{
+		Factory:  f,
+		Perm:     append([]int(nil), pi...),
+		Result:   res,
+		Encoding: enc,
+		Decoded:  dec,
+		Cost:     sc,
+	}, nil
+}
+
+// BitsPerCost returns |E_π| / C(α_π), the constant of Theorem 6.2 for this
+// pipeline. It must stay bounded as n grows.
+func (p *Pipeline) BitsPerCost() float64 {
+	if p.Cost == 0 {
+		return 0
+	}
+	return float64(p.Encoding.BitLen) / float64(p.Cost)
+}
+
+// SweepStats aggregates pipelines over a set of permutations.
+type SweepStats struct {
+	N              int
+	Perms          int
+	MaxCost        int
+	MinCost        int
+	SumCost        int
+	MaxBits        int
+	SumBits        int
+	MaxBitsPerCost float64
+	// Distinct is the number of distinct decoded executions; for an
+	// exhaustive sweep it must equal n! (the injectivity that powers
+	// Theorem 7.5).
+	Distinct int
+}
+
+// MeanCost returns the average C(α_π) over the sweep.
+func (s SweepStats) MeanCost() float64 {
+	if s.Perms == 0 {
+		return 0
+	}
+	return float64(s.SumCost) / float64(s.Perms)
+}
+
+// MeanBits returns the average |E_π| in bits over the sweep.
+func (s SweepStats) MeanBits() float64 {
+	if s.Perms == 0 {
+		return 0
+	}
+	return float64(s.SumBits) / float64(s.Perms)
+}
+
+// Sweep runs the pipeline for every permutation in perms and aggregates.
+func Sweep(f program.Factory, perms [][]int) (SweepStats, error) {
+	stats := SweepStats{N: f.N(), MinCost: -1}
+	seen := make(map[string]bool, len(perms))
+	for _, pi := range perms {
+		p, err := Run(f, pi)
+		if err != nil {
+			return stats, err
+		}
+		stats.Perms++
+		stats.SumCost += p.Cost
+		stats.SumBits += p.Encoding.BitLen
+		if p.Cost > stats.MaxCost {
+			stats.MaxCost = p.Cost
+		}
+		if stats.MinCost < 0 || p.Cost < stats.MinCost {
+			stats.MinCost = p.Cost
+		}
+		if p.Encoding.BitLen > stats.MaxBits {
+			stats.MaxBits = p.Encoding.BitLen
+		}
+		if r := p.BitsPerCost(); r > stats.MaxBitsPerCost {
+			stats.MaxBitsPerCost = r
+		}
+		seen[p.Decoded.String()] = true
+	}
+	stats.Distinct = len(seen)
+	return stats, nil
+}
+
+// ExhaustiveSweep runs the pipeline over all of S_n and additionally checks
+// the injectivity required by Theorem 7.5: distinct permutations yield
+// distinct decoded executions (n! of them).
+func ExhaustiveSweep(f program.Factory) (SweepStats, error) {
+	n := f.N()
+	if n > 8 {
+		return SweepStats{}, fmt.Errorf("core: exhaustive sweep of S_%d (%d permutations) refused; use Sweep with a sample", n, perm.Factorial(n))
+	}
+	var perms [][]int
+	perm.ForEach(n, func(pi []int) bool {
+		perms = append(perms, append([]int(nil), pi...))
+		return true
+	})
+	stats, err := Sweep(f, perms)
+	if err != nil {
+		return stats, err
+	}
+	if want := int(perm.Factorial(n)); stats.Distinct != want {
+		return stats, fmt.Errorf("core: only %d distinct executions for %d permutations (Theorem 7.5 injectivity violated)", stats.Distinct, want)
+	}
+	return stats, nil
+}
+
+// InformationBound returns log₂(n!), the bit floor that max |E_π| must
+// reach over any exhaustive sweep, and with it (via Theorem 6.2) the
+// Ω(n log n) cost bound.
+func InformationBound(n int) float64 { return perm.Log2Factorial(n) }

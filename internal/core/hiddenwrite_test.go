@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/metastep"
+	"repro/internal/mutex"
+	"repro/internal/perm"
+)
+
+// TestHiddenWriteGadgetExercised closes a coverage gap: every classic
+// algorithm announces before it reads, so the construction hides higher
+// processes exclusively through prereads and joined reads — the hidden
+// non-winning write of Figure 1 line 16 never occurs, and the decoder's
+// parked plain-W cells are never exercised end to end. The bakery-scribble
+// variant writes a shared register after its last read, which provably
+// forces later processes' scribbles to join the first process's scribble
+// metastep. The full pipeline must round-trip those metasteps too.
+func TestHiddenWriteGadgetExercised(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		f, err := mutex.BakeryScribble(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalHidden := 0
+		perm.ForEach(n, func(pi []int) bool {
+			p, err := core.Run(f, append([]int(nil), pi...))
+			if err != nil {
+				t.Fatalf("n=%d pi=%v: %v", n, pi, err)
+			}
+			hidden, wCells := 0, 0
+			for id := 0; id < p.Result.Set.Len(); id++ {
+				hidden += len(p.Result.Set.Meta(metastep.ID(id)).Writes)
+			}
+			for _, col := range p.Encoding.Columns {
+				for _, c := range col {
+					if c.Tag == encode.TagW {
+						wCells++
+					}
+				}
+			}
+			if hidden != wCells {
+				t.Fatalf("n=%d pi=%v: %d hidden writes but %d plain-W cells", n, pi, hidden, wCells)
+			}
+			totalHidden += hidden
+			return true
+		})
+		// With n processes, each permutation hides n-1 scribbles in the
+		// first process's scribble metastep.
+		want := (n - 1) * int(perm.Factorial(n))
+		if totalHidden != want {
+			t.Fatalf("n=%d: %d hidden writes across S_n, want %d", n, totalHidden, want)
+		}
+	}
+}
+
+// TestScribbleInjectivity: the scribble variant still yields n! distinct
+// decodable executions.
+func TestScribbleInjectivity(t *testing.T) {
+	f, err := mutex.BakeryScribble(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.ExhaustiveSweep(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Distinct != 24 {
+		t.Fatalf("distinct = %d, want 24", stats.Distinct)
+	}
+}

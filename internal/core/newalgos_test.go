@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mutex"
+	"repro/internal/perm"
+)
+
+func TestPipelineNewAlgos(t *testing.T) {
+	for _, name := range []string{mutex.NameDijkstra, mutex.NameFilter} {
+		for n := 2; n <= 4; n++ {
+			f, err := mutex.New(name, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perm.ForEach(n, func(pi []int) bool {
+				if _, err := core.Run(f, pi); err != nil {
+					t.Fatalf("%s n=%d pi=%v: %v", name, n, pi, err)
+				}
+				return true
+			})
+		}
+	}
+	f, _ := mutex.Dekker(2)
+	for _, pi := range [][]int{{0, 1}, {1, 0}} {
+		if _, err := core.Run(f, pi); err != nil {
+			t.Fatalf("dekker pi=%v: %v", pi, err)
+		}
+	}
+}

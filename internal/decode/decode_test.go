@@ -1,0 +1,162 @@
+package decode_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/decode"
+	"repro/internal/encode"
+	"repro/internal/mutex"
+	"repro/internal/perm"
+	"repro/internal/rmw"
+)
+
+func pipelineBits(t testing.TB, algoName string, pi []int) (*mutex.Factory, *construct.Result, *encode.Encoding) {
+	t.Helper()
+	f, err := mutex.New(algoName, len(pi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := construct.Construct(f, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encode.Encode(res.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, res, enc
+}
+
+// TestDecodeDeterministic: decoding the same bits twice yields identical
+// executions (the decoder is the injectivity witness, so it must be a
+// function).
+func TestDecodeDeterministic(t *testing.T) {
+	f, _, enc := pipelineBits(t, mutex.NameYangAnderson, []int{2, 0, 1, 3})
+	a, err := decode.Decode(f, enc.Bits, enc.BitLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := decode.Decode(f, enc.Bits, enc.BitLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("decoder is nondeterministic")
+	}
+}
+
+// TestDecodeUsesOnlyBits: decoding with a *fresh* factory instance (no
+// shared state with the construction) succeeds — the decoder's only inputs
+// are the bits and δ.
+func TestDecodeUsesOnlyBits(t *testing.T) {
+	_, res, enc := pipelineBits(t, mutex.NameBakery, []int{3, 1, 0, 2})
+	fresh, err := mutex.New(mutex.NameBakery, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decode.Decode(fresh, enc.Bits, enc.BitLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Set.CheckLinearization(dec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeRejectsCorruptedBits: flipping bits must produce an error, not
+// a silently wrong execution that still parses. (Some flips may produce a
+// different valid-looking table; the decoder must then fail one of its
+// pending-step consistency checks. A flip can at worst produce a decode of
+// a DIFFERENT valid encoding — with 3-bit tags that requires a consistent
+// table, which the pending-step checks make overwhelmingly unlikely; we
+// assert error or inequality.)
+func TestDecodeRejectsCorruptedBits(t *testing.T) {
+	f, _, enc := pipelineBits(t, mutex.NameYangAnderson, []int{1, 2, 0})
+	orig, err := decode.Decode(f, enc.Bits, enc.BitLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	flips := 0
+	for trial := 0; trial < 40; trial++ {
+		pos := rng.Intn(enc.BitLen)
+		bits := append([]byte(nil), enc.Bits...)
+		bits[pos/8] ^= 1 << (7 - pos%8)
+		dec, err := decode.Decode(f, bits, enc.BitLen)
+		if err == nil && dec.Equal(orig) {
+			t.Fatalf("bit flip at %d decoded to the original execution", pos)
+		}
+		if err != nil {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no corruption was ever detected across 40 flips")
+	}
+}
+
+// TestDecodeRejectsTruncation.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	f, _, enc := pipelineBits(t, mutex.NameYangAnderson, []int{0, 1})
+	if _, err := decode.Decode(f, enc.Bits, enc.BitLen-5); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+}
+
+// TestDecodeRejectsRMW.
+func TestDecodeRejectsRMW(t *testing.T) {
+	f, err := rmw.TestAndSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decode.Decode(f, []byte{0}, 3); err == nil {
+		t.Fatal("RMW factory accepted")
+	}
+}
+
+// TestDecodeWrongAlgorithm: bits encoded against one algorithm must not
+// silently decode against another (the cell stream will not match the
+// other algorithm's pending steps).
+func TestDecodeWrongAlgorithm(t *testing.T) {
+	_, _, enc := pipelineBits(t, mutex.NameBakery, []int{1, 0, 2})
+	other, err := mutex.New(mutex.NameYangAnderson, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decode.Decode(other, enc.Bits, enc.BitLen); err == nil {
+		t.Fatal("bakery encoding decoded against yang-anderson")
+	}
+}
+
+// TestDecodeAllPermsMatchesConstruction: for every π in S_4, the decoded
+// execution is a linearization of that π's construction — and of no other
+// π's (entry orders differ).
+func TestDecodeAllPermsMatchesConstruction(t *testing.T) {
+	f, err := mutex.New(mutex.NameYangAnderson, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm.ForEach(4, func(pi []int) bool {
+		res, err := construct.Construct(f, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := encode.Encode(res.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := decode.Decode(f, enc.Bits, enc.BitLen)
+		if err != nil {
+			t.Fatalf("pi=%v: %v", pi, err)
+		}
+		got := dec.EntryOrder()
+		for k := range pi {
+			if got[k] != pi[k] {
+				t.Fatalf("pi=%v decoded with entry order %v", pi, got)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,26 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestAllExperimentsPass runs every experiment (quick scale under -short)
+// and requires a PASS verdict: each is a machine-check of a paper claim.
+func TestAllExperimentsPass(t *testing.T) {
+	cfg := experiments.Config{Quick: testing.Short(), Seed: 20060723} // the TR's date
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			t.Logf("\n%s", tbl.Format())
+			if !tbl.Pass {
+				t.Errorf("%s failed its shape check", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,215 @@
+// Package machine simulates the paper's asynchronous shared-memory system:
+// n deterministic process automata, a file of atomic registers, and an
+// explicit, pluggable scheduler in the role of the adversary.
+//
+// Nothing here uses goroutines or real concurrency. The paper's cost models
+// are defined over the abstract interleaving model, and measuring them on
+// real hardware through the Go runtime scheduler would distort them (cache
+// behaviour, preemption and spin loops would be timed, not counted). The
+// simulator instead executes one step at a time and records exactly the
+// quantities the models charge for.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// Section is a process's current protocol section (Section 3.2 of the paper).
+type Section uint8
+
+// Sections of the mutual exclusion protocol.
+const (
+	SecRemainder Section = iota
+	SecTrying
+	SecCritical
+	SecExit
+)
+
+// String names the section.
+func (s Section) String() string {
+	switch s {
+	case SecRemainder:
+		return "remainder"
+	case SecTrying:
+		return "trying"
+	case SecCritical:
+		return "critical"
+	case SecExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("Section(%d)", uint8(s))
+	}
+}
+
+// System is a running n-process shared-memory system. It executes steps
+// chosen by a scheduler, records the execution trace, and tracks per-step
+// state changes (the raw material of the state change cost model) and each
+// process's protocol section.
+type System struct {
+	factory  program.Factory
+	automata []*program.Automaton
+	regs     *model.Registers
+
+	trace   model.Execution
+	changed []bool // changed[t]: did step t change its process's state?
+
+	section   []Section
+	csEntries []int // completed enter steps per process
+	csDone    []int // completed rem steps per process
+}
+
+// NewSystem creates a system in the initial state s_0 for the factory.
+func NewSystem(f program.Factory) *System {
+	n := f.N()
+	s := &System{
+		factory:   f,
+		automata:  program.NewAutomata(f),
+		regs:      program.NewRegisters(f),
+		section:   make([]Section, n),
+		csEntries: make([]int, n),
+		csDone:    make([]int, n),
+	}
+	return s
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return s.factory.N() }
+
+// Factory returns the algorithm factory the system runs.
+func (s *System) Factory() program.Factory { return s.factory }
+
+// Registers exposes the register file (read-only use expected).
+func (s *System) Registers() *model.Registers { return s.regs }
+
+// Automaton returns process i's automaton (read-only use expected).
+func (s *System) Automaton(i int) *program.Automaton { return s.automata[i] }
+
+// Halted reports whether process i has halted.
+func (s *System) Halted(i int) bool { return s.automata[i].Halted() }
+
+// AllHalted reports whether every process has halted.
+func (s *System) AllHalted() bool {
+	for _, a := range s.automata {
+		if !a.Halted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Section returns process i's current protocol section.
+func (s *System) Section(i int) Section { return s.section[i] }
+
+// CSEntries returns how many times process i has entered its critical section.
+func (s *System) CSEntries(i int) int { return s.csEntries[i] }
+
+// CSCompleted returns how many times process i has completed a full
+// try-enter-exit-rem cycle.
+func (s *System) CSCompleted(i int) int { return s.csDone[i] }
+
+// Trace returns the execution so far. The returned slice is owned by the
+// system; callers must not modify it.
+func (s *System) Trace() model.Execution { return s.trace }
+
+// Changed returns the per-step state-change flags, aligned with Trace.
+func (s *System) Changed() []bool { return s.changed }
+
+// PendingStep returns δ applied to process i's current state.
+func (s *System) PendingStep(i int) model.Step { return s.automata[i].PendingStep() }
+
+// WouldChangeState reports whether process i's pending step would change its
+// state if executed now. Writes, RMWs and critical steps always change state
+// (they advance the program counter); reads change state according to the
+// value currently in the register.
+func (s *System) WouldChangeState(i int) bool {
+	a := s.automata[i]
+	step := a.PendingStep()
+	switch step.Kind {
+	case model.KindRead:
+		return a.WouldChangeState(s.regs.Read(step.Reg))
+	default:
+		return true
+	}
+}
+
+// Step executes process i's pending step, appends it to the trace, and
+// returns the executed step (with read results filled in). It returns an
+// error if the process is halted or violates well-formedness.
+func (s *System) Step(i int) (model.Step, error) {
+	if i < 0 || i >= s.N() {
+		return model.Step{}, fmt.Errorf("machine: no process %d", i)
+	}
+	a := s.automata[i]
+	if a.Halted() {
+		return model.Step{}, fmt.Errorf("machine: process %d is halted", i)
+	}
+	step := a.PendingStep()
+	if step.IsShared() && (step.Reg < 0 || int(step.Reg) >= s.regs.Len()) {
+		return model.Step{}, fmt.Errorf("machine: process %d: register %d out of range [0,%d)", i, step.Reg, s.regs.Len())
+	}
+	before := a.StateKey()
+	switch step.Kind {
+	case model.KindRead:
+		v := s.regs.Read(step.Reg)
+		step.Val = v
+		a.Feed(v)
+	case model.KindWrite:
+		s.regs.Write(step.Reg, step.Val)
+		a.Feed(0)
+	case model.KindRMW:
+		old := s.regs.ApplyRMW(step.Reg, step.RMW, step.Arg1, step.Arg2)
+		step.Val = old
+		a.Feed(old)
+	case model.KindCrit:
+		if err := s.applyCrit(i, step.Crit); err != nil {
+			return model.Step{}, err
+		}
+		a.Feed(0)
+	}
+	s.trace = append(s.trace, step)
+	s.changed = append(s.changed, a.StateKey() != before)
+	return step, nil
+}
+
+// applyCrit advances process i's protocol section, enforcing the
+// well-formedness cycle try → enter → exit → rem.
+func (s *System) applyCrit(i int, c model.CritKind) error {
+	want := map[model.CritKind]Section{
+		model.CritTry:   SecRemainder,
+		model.CritEnter: SecTrying,
+		model.CritExit:  SecCritical,
+		model.CritRem:   SecExit,
+	}[c]
+	if s.section[i] != want {
+		return fmt.Errorf("machine: process %d: %s step while in %s section", i, c, s.section[i])
+	}
+	switch c {
+	case model.CritTry:
+		s.section[i] = SecTrying
+	case model.CritEnter:
+		s.section[i] = SecCritical
+		s.csEntries[i]++
+	case model.CritExit:
+		s.section[i] = SecExit
+	case model.CritRem:
+		s.section[i] = SecRemainder
+		s.csDone[i]++
+	}
+	return nil
+}
+
+// InCriticalSection returns the process currently in its critical section,
+// or -1 if none. Mutual exclusion violations are reported by
+// internal/verify; the system itself permits them so that buggy algorithms
+// can be executed and diagnosed.
+func (s *System) InCriticalSection() int {
+	for i, sec := range s.section {
+		if sec == SecCritical {
+			return i
+		}
+	}
+	return -1
+}

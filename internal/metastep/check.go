@@ -1,0 +1,110 @@
+package metastep
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// CheckLinearization verifies that exec is a linearization of the set:
+// there is a total order of the metasteps consistent with ≼, and an
+// expansion of each metastep by Seq, whose concatenation equals exec.
+// This is the acceptance criterion of Theorem 7.4 for the decoder's output.
+//
+// The verification is deterministic: each process's metasteps are totally
+// ordered (its chain), so the metastep that must come next at any position
+// of exec is forced by the process of the step at that position.
+func (s *Set) CheckLinearization(exec model.Execution) error {
+	executed := make([]bool, len(s.metas))
+	idx := make([]int, s.n) // per-process position in its chain
+	pos := 0
+	count := 0
+	for pos < len(exec) {
+		p := exec[pos].Proc
+		if p < 0 || p >= s.n {
+			return fmt.Errorf("metastep: step %d: process %d out of range", pos, p)
+		}
+		if idx[p] >= len(s.chains[p]) {
+			return fmt.Errorf("metastep: step %d: process %d has no metasteps left but takes %v", pos, p, exec[pos])
+		}
+		id := s.chains[p][idx[p]]
+		m := s.metas[id]
+		if executed[id] {
+			return fmt.Errorf("metastep: step %d: metastep %v already executed", pos, m)
+		}
+		for _, q := range s.preds[id] {
+			if !executed[q] {
+				return fmt.Errorf("metastep: step %d: %v executed before its predecessor %v", pos, m, s.metas[q])
+			}
+		}
+		block, err := s.matchBlock(m, exec, pos)
+		if err != nil {
+			return err
+		}
+		executed[id] = true
+		for _, owner := range m.Owners() {
+			if idx[owner] >= len(s.chains[owner]) || s.chains[owner][idx[owner]] != id {
+				return fmt.Errorf("metastep: step %d: %v is not process %d's next metastep", pos, m, owner)
+			}
+			idx[owner]++
+		}
+		pos += block
+		count++
+	}
+	if count != len(s.metas) {
+		return fmt.Errorf("metastep: execution covers %d of %d metasteps", count, len(s.metas))
+	}
+	return nil
+}
+
+// matchBlock checks that exec[pos:] starts with a valid Seq expansion of m
+// and returns its length: all non-winning writes of m in some order, then
+// the winning write, then all reads in some order.
+func (s *Set) matchBlock(m *Meta, exec model.Execution, pos int) (int, error) {
+	size := m.Size()
+	if pos+size > len(exec) {
+		return 0, fmt.Errorf("metastep: step %d: execution ends inside %v", pos, m)
+	}
+	block := exec[pos : pos+size]
+	switch m.Type {
+	case TypeCrit:
+		if !block[0].SameOperation(m.Crit) {
+			return 0, fmt.Errorf("metastep: step %d: %v does not match %v", pos, block[0], m)
+		}
+	case TypeRead:
+		if !block[0].SameOperation(m.Reads[0]) {
+			return 0, fmt.Errorf("metastep: step %d: %v does not match %v", pos, block[0], m)
+		}
+	case TypeWrite:
+		nw := len(m.Writes)
+		if err := matchUnordered(block[:nw], m.Writes); err != nil {
+			return 0, fmt.Errorf("metastep: step %d: writes of %v: %w", pos, m, err)
+		}
+		if !block[nw].SameOperation(m.Win) {
+			return 0, fmt.Errorf("metastep: step %d: %v is not the winning write of %v", pos+nw, block[nw], m)
+		}
+		if err := matchUnordered(block[nw+1:], m.Reads); err != nil {
+			return 0, fmt.Errorf("metastep: step %d: reads of %v: %w", pos, m, err)
+		}
+	}
+	return size, nil
+}
+
+// matchUnordered checks that got is a permutation of want (by operation).
+func matchUnordered(got model.Execution, want []model.Step) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d steps, want %d", len(got), len(want))
+	}
+	used := make([]bool, len(want))
+outer:
+	for _, g := range got {
+		for j, w := range want {
+			if !used[j] && g.SameOperation(w) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return fmt.Errorf("step %v not in metastep", g)
+	}
+	return nil
+}

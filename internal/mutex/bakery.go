@@ -1,0 +1,129 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// Bakery builds Lamport's bakery algorithm for n processes.
+//
+// Each passage reads all n-1 other tickets to compute its own (Θ(n) plain
+// reads, each a state change), then waits on each other process in turn.
+// Both waits are single-register busywaits — on choosing[j] and on
+// number[j] with the ticket-order predicate — so they are SC-bounded; the
+// Θ(n) ticket scan nevertheless makes the canonical-execution cost Θ(n²),
+// the quadratic baseline of experiment E7.
+//
+// Tickets are unbounded in general; int64 registers are ample for the
+// finite executions measured here.
+func Bakery(n int) (*Factory, error) {
+	return bakery(n, false)
+}
+
+// BakeryScribble is the bakery algorithm plus one semantically inert write
+// to a shared "scribble" register at the very end of each exit section,
+// after the process's last read.
+//
+// It exists to exercise the construction's *hidden write* gadget (Figure 1,
+// line 16: a higher-indexed process's write inserted into an existing write
+// metastep, immediately overwritten by the winner). None of the classic
+// algorithms ever trigger it: they all announce before they read, so the
+// preread edges pull every rival write under m′ before a join could happen
+// (and the bakery's per-process registers are single-writer outright). A
+// write performed after a process's final read is exactly what the gadget
+// needs: in any multi-stage construction the later processes' scribbles
+// join the first process's scribble metastep and are hidden by its winning
+// write. The trailing write changes neither safety nor liveness.
+func BakeryScribble(n int) (*Factory, error) {
+	return bakery(n, true)
+}
+
+func bakery(n int, scribble bool) (*Factory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: bakery: n must be ≥ 1, got %d", n)
+	}
+	layout := NewLayout()
+	choosing := make([]model.RegID, n)
+	number := make([]model.RegID, n)
+	for i := 0; i < n; i++ {
+		choosing[i] = layout.Reg(fmt.Sprintf("choosing[%d]", i), 0, i)
+	}
+	for i := 0; i < n; i++ {
+		number[i] = layout.Reg(fmt.Sprintf("number[%d]", i), 0, i)
+	}
+	var scratch model.RegID
+	if scribble {
+		scratch = layout.Reg("scribble", 0, -1)
+	}
+
+	progs := make([]*program.Program, n)
+	for i := 0; i < n; i++ {
+		b := program.NewBuilder(fmt.Sprintf("bakery/%d", i))
+		maxv := b.Var("max")
+		x := b.Var("x")
+		c := b.Var("c")
+		mynum := b.Var("mynum")
+
+		b.Try()
+		b.Write(choosing[i], program.Const(1))
+		b.Let(maxv, program.Const(0))
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			skip := fmt.Sprintf("scan%d", j)
+			b.Read(number[j], x)
+			b.If(program.Le(x, maxv), skip)
+			b.Let(maxv, x)
+			b.Label(skip)
+			b.Let(x, program.Const(0))
+		}
+		b.Let(mynum, program.Add(maxv, program.Const(1)))
+		b.Write(number[i], mynum)
+		b.Write(choosing[i], program.Const(0))
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			// Wait until p_j is not choosing.
+			b.Spin(choosing[j], c, program.Eq(c, program.Const(0)))
+			// Wait until p_j's ticket does not precede ours:
+			// proceed when number[j]=0, number[j]>mynum, or ties broken by index.
+			pred := program.Or(
+				program.Eq(x, program.Const(0)),
+				program.Or(
+					program.Gt(x, mynum),
+					program.And(program.Eq(x, mynum), program.Const(b2i(j > i))),
+				),
+			)
+			b.Spin(number[j], x, pred)
+		}
+		b.Enter()
+		b.Exit()
+		b.Write(number[i], program.Const(0))
+		if scribble {
+			b.Write(scratch, program.Const(int64(i+1)))
+		}
+		b.Rem()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("mutex: bakery: %w", err)
+		}
+		progs[i] = p
+	}
+	name := fmt.Sprintf("bakery(n=%d)", n)
+	if scribble {
+		name = fmt.Sprintf("bakery-scribble(n=%d)", n)
+	}
+	return NewFactory(name, layout, progs), nil
+}
+
+func b2i(b bool) model.Value {
+	if b {
+		return 1
+	}
+	return 0
+}

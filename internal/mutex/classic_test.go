@@ -1,0 +1,98 @@
+package mutex_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mutex"
+	"repro/internal/verify"
+)
+
+// TestDekker covers the 2-process-only constructor and its correctness.
+func TestDekker(t *testing.T) {
+	if _, err := mutex.Dekker(3); err == nil {
+		t.Fatal("Dekker(3) accepted")
+	}
+	f, err := mutex.Dekker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		exec, err := machine.RunCanonical(f, machine.NewRandom(seed), 0)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := verify.MutexExecution(f, exec); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestDijkstraAndFilter run the classic n-process algorithms across sizes
+// and schedulers.
+func TestDijkstraAndFilter(t *testing.T) {
+	for _, name := range []string{mutex.NameDijkstra, mutex.NameFilter} {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			for seed := int64(0); seed < 10; seed++ {
+				t.Run(fmt.Sprintf("%s/n=%d/seed=%d", name, n, seed), func(t *testing.T) {
+					f, err := mutex.New(name, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exec, err := machine.RunCanonical(f, machine.NewRandom(seed), 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := verify.MutexExecution(f, exec); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			t.Run(fmt.Sprintf("%s/n=%d/round-robin", name, n), func(t *testing.T) {
+				f, err := mutex.New(name, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exec, err := machine.RunCanonical(f, machine.NewRoundRobin(), 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := verify.MutexExecution(f, exec); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestTreeGeometry pins the tournament-tree helper functions (shared by
+// Yang–Anderson and Peterson).
+func TestTreeGeometry(t *testing.T) {
+	// n=1: no internal nodes, empty paths.
+	f, err := mutex.YangAnderson(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := machine.RunCanonical(f, machine.NewRoundRobin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.MutexExecution(f, exec); err != nil {
+		t.Fatal(err)
+	}
+	// Non-power-of-two n exercise partially filled trees.
+	for _, n := range []int{3, 5, 6, 7, 9, 12, 15} {
+		f, err := mutex.YangAnderson(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := machine.RunCanonical(f, machine.NewRandom(int64(n)), 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := verify.MutexExecution(f, exec); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package mutex_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/mutex"
+)
+
+// TestDebugYangAndersonHang reproduces a random-scheduler hang and dumps
+// the stuck system state. Kept as a regression canary: it must complete.
+func TestDebugYangAndersonHang(t *testing.T) {
+	n := 16
+	f, err := mutex.New(mutex.NameYangAnderson, n)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := machine.NewSystem(f)
+	_, err = machine.Run(s, machine.NewRandom(1), 200000)
+	if err == nil {
+		return
+	}
+	t.Logf("run error: %v", err)
+	for i := 0; i < n; i++ {
+		if s.Halted(i) {
+			continue
+		}
+		a := s.Automaton(i)
+		t.Logf("proc %2d section=%s pc=%d pending=%v env=%v", i, s.Section(i), a.PC(), s.PendingStep(i), a.Env())
+	}
+	lay := f.Layout()
+	for r := 0; r < f.NumRegisters(); r++ {
+		v := s.Registers().Read(model.RegID(r))
+		if v != 0 {
+			t.Logf("reg %-12s = %d", lay.Name(model.RegID(r)), v)
+		}
+	}
+	t.Fatal("yang-anderson hung")
+}

@@ -1,0 +1,67 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// Dekker builds Dekker's algorithm, the first known two-process mutual
+// exclusion algorithm using only registers (n must be 2). It predates
+// Peterson's and uses an explicit back-off: on conflict, the process that
+// does not hold the turn retracts its flag and busywaits on the turn
+// register (a single-register spin, SC-bounded) before retrying.
+//
+//	entry(i):  flag[i] := 1
+//	           while flag[1-i] = 1:
+//	               if turn ≠ i:
+//	                   flag[i] := 0
+//	                   await turn = i
+//	                   flag[i] := 1
+//	exit(i):   turn := 1-i;  flag[i] := 0
+func Dekker(n int) (*Factory, error) {
+	if n != 2 {
+		return nil, fmt.Errorf("mutex: dekker: defined for exactly 2 processes, got %d", n)
+	}
+	layout := NewLayout()
+	flags := [2]model.RegID{
+		layout.Reg("flag[0]", 0, 0),
+		layout.Reg("flag[1]", 0, 1),
+	}
+	turn := layout.Reg("turn", 0, -1)
+
+	progs := make([]*program.Program, 2)
+	for i := 0; i < 2; i++ {
+		b := program.NewBuilder(fmt.Sprintf("dekker/%d", i))
+		x := b.Var("x")
+		tv := b.Var("t")
+		mine, other := flags[i], flags[1-i]
+
+		b.Try()
+		b.Write(mine, program.Const(1))
+		b.Label("check")
+		b.Read(other, x)
+		b.If(program.Eq(x, program.Const(0)), "enter")
+		b.Read(turn, tv)
+		b.If(program.Eq(tv, program.Const(int64(i))), "check")
+		// Not our turn: back off, wait for the turn, retry.
+		b.Write(mine, program.Const(0))
+		b.Spin(turn, tv, program.Eq(tv, program.Const(int64(i))))
+		b.Write(mine, program.Const(1))
+		b.Goto("check")
+		b.Label("enter")
+		b.Enter()
+		b.Exit()
+		b.Write(turn, program.Const(int64(1-i)))
+		b.Write(mine, program.Const(0))
+		b.Rem()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("mutex: dekker: %w", err)
+		}
+		progs[i] = p
+	}
+	return NewFactory("dekker(n=2)", layout, progs), nil
+}

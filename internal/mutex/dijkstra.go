@@ -1,0 +1,83 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// Dijkstra builds Dijkstra's 1965 n-process mutual exclusion algorithm,
+// the problem's original solution and the starting point of the literature
+// the paper's Section 2 surveys.
+//
+// Register flag[i] ∈ {0, 1, 2} (0 = passive, 1 = wants in, 2 = in doorway)
+// and a turn register. Entry:
+//
+//	start: flag[i] := 1
+//	       while turn ≠ i:
+//	           if flag[turn] = 0: turn := i
+//	       flag[i] := 2
+//	       for all j ≠ i: if flag[j] = 2 goto start
+//	exit:  flag[i] := 0
+//
+// The algorithm is deadlock-free (some process always gets in — the
+// paper's livelock freedom) but not starvation-free for individuals. The
+// read of flag[turn] uses indirect register addressing. The doorway
+// collision check is Θ(n) per attempt, so canonical SC cost is Ω(n²).
+func Dijkstra(n int) (*Factory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: dijkstra: n must be ≥ 1, got %d", n)
+	}
+	layout := NewLayout()
+	flagBase := model.RegID(layout.Len())
+	for i := 0; i < n; i++ {
+		layout.Reg(fmt.Sprintf("flag[%d]", i), 0, i)
+	}
+	// turn starts at 0, an arbitrary valid process index.
+	turn := layout.Reg("turn", 0, -1)
+
+	progs := make([]*program.Program, n)
+	for i := 0; i < n; i++ {
+		b := program.NewBuilder(fmt.Sprintf("dijkstra/%d", i))
+		tv := b.Var("t")
+		ft := b.Var("ft")
+		x := b.Var("x")
+		me := program.Const(int64(i))
+
+		b.Try()
+		b.Label("start")
+		b.Write(flagBase+model.RegID(i), program.Const(1))
+		b.Label("turnloop")
+		b.Read(turn, tv)
+		b.If(program.Eq(tv, me), "doorway")
+		// flag[turn]: indirect read; claim the turn if its holder is passive.
+		b.ReadX(program.Add(program.Const(int64(flagBase)), tv), ft)
+		b.If(program.Ne(ft, program.Const(0)), "turnloop")
+		b.Write(turn, me)
+		b.Goto("turnloop")
+		b.Label("doorway")
+		b.Write(flagBase+model.RegID(i), program.Const(2))
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			next := fmt.Sprintf("ok%d", j)
+			b.Read(flagBase+model.RegID(j), x)
+			b.If(program.Ne(x, program.Const(2)), next)
+			b.Goto("start") // collision in the doorway: retry
+			b.Label(next)
+		}
+		b.Enter()
+		b.Exit()
+		b.Write(flagBase+model.RegID(i), program.Const(0))
+		b.Rem()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("mutex: dijkstra: %w", err)
+		}
+		progs[i] = p
+	}
+	return NewFactory(fmt.Sprintf("dijkstra(n=%d)", n), layout, progs), nil
+}

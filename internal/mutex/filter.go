@@ -1,0 +1,83 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// Filter builds the filter lock, Peterson's generalization of his
+// two-process algorithm to n processes: n-1 levels, each filtering out at
+// least one process. A process at level l waits until either no other
+// process is at level ≥ l or it is no longer the level's victim.
+//
+//	for l = 1 .. n-1:
+//	    level[i] := l
+//	    victim[l] := i
+//	    for all j ≠ i:
+//	        while level[j] ≥ l and victim[l] = i: busywait
+//	exit: level[i] := 0
+//
+// The wait alternates reads of level[j] and victim[l] — a two-register
+// busywait, charged per read in the SC model like Peterson's — and scans
+// all n-1 rivals at each of n-1 levels: Θ(n²) work per passage even
+// without contention.
+func Filter(n int) (*Factory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: filter: n must be ≥ 1, got %d", n)
+	}
+	layout := NewLayout()
+	level := make([]model.RegID, n)
+	for i := 0; i < n; i++ {
+		level[i] = layout.Reg(fmt.Sprintf("level[%d]", i), 0, i)
+	}
+	victim := make([]model.RegID, n) // victim[1..n-1] used
+	for l := 1; l < n; l++ {
+		victim[l] = layout.Reg(fmt.Sprintf("victim[%d]", l), 0, -1)
+	}
+
+	progs := make([]*program.Program, n)
+	for i := 0; i < n; i++ {
+		b := program.NewBuilder(fmt.Sprintf("filter/%d", i))
+		x := b.Var("x")
+		v := b.Var("v")
+		me := program.Const(int64(i))
+
+		b.Try()
+		for l := 1; l < n; l++ {
+			b.Write(level[i], program.Const(int64(l)))
+			b.Write(victim[l], me)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				wait := fmt.Sprintf("wait_l%d_j%d", l, j)
+				pass := fmt.Sprintf("pass_l%d_j%d", l, j)
+				b.Label(wait)
+				b.Read(level[j], x)
+				b.If(program.Lt(x, program.Const(int64(l))), pass)
+				b.Read(victim[l], v)
+				b.If(program.Eq(v, me), wait)
+				// No longer the victim: the whole level's condition fails;
+				// skip the remaining rivals at this level.
+				b.Goto(fmt.Sprintf("level_done_%d", l))
+				b.Label(pass)
+			}
+			b.Label(fmt.Sprintf("level_done_%d", l))
+			b.Let(x, program.Const(0))
+			b.Let(v, program.Const(0))
+		}
+		b.Enter()
+		b.Exit()
+		b.Write(level[i], program.Const(0))
+		b.Rem()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("mutex: filter: %w", err)
+		}
+		progs[i] = p
+	}
+	return NewFactory(fmt.Sprintf("filter(n=%d)", n), layout, progs), nil
+}

@@ -1,0 +1,44 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// Naive builds a deliberately incorrect register lock: each process spins
+// until a single lock register reads 0, then writes 1 and enters. Two
+// processes that both read 0 before either writes will both enter — a
+// mutual exclusion violation under interleaving schedulers.
+//
+// It exists to validate the checkers: internal/verify must catch the
+// violation, and the test suite asserts it does. It also demonstrates why
+// registers alone need cleverness (the reason test-and-set exists; see
+// internal/rmw for the RMW version that is correct).
+func Naive(n int) (*Factory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: naive: n must be ≥ 1, got %d", n)
+	}
+	layout := NewLayout()
+	lock := layout.Reg("L", 0, -1)
+
+	progs := make([]*program.Program, n)
+	for i := 0; i < n; i++ {
+		b := program.NewBuilder(fmt.Sprintf("naive/%d", i))
+		x := b.Var("x")
+		b.Try()
+		b.Spin(lock, x, program.Eq(x, program.Const(0)))
+		b.Write(lock, program.Const(1))
+		b.Enter()
+		b.Exit()
+		b.Write(lock, program.Const(0))
+		b.Rem()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("mutex: naive: %w", err)
+		}
+		progs[i] = p
+	}
+	return NewFactory(fmt.Sprintf("naive(n=%d)", n), layout, progs), nil
+}

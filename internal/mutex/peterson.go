@@ -1,0 +1,89 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// Peterson builds an n-process tournament of two-process Peterson locks.
+// For n = 2 this is exactly Peterson's classic algorithm.
+//
+// Unlike Yang–Anderson, the Peterson entry protocol busywaits on a
+// *condition over two registers* (the rival's flag and the victim
+// register). The state change cost model permits bounded-cost busywaiting
+// only on a single register at a time (§3.3): an automaton alternating
+// reads of two registers changes state on every read (the program counter
+// distinguishes "about to read F" from "about to read V"), so Peterson's
+// waiting is charged per read. Its SC cost in canonical executions is
+// therefore scheduler-dependent and unbounded under adversarial schedules —
+// a measured illustration of why the paper's tight algorithms are
+// local-spin.
+//
+// Per internal tree node v, the registers are F[v][0], F[v][1] (intent
+// flags) and V[v] (the victim: the side that must yield). Entry at side s:
+//
+//	F[s] := 1;  V := s
+//	while F[1-s] = 1 and V = s: busywait (alternating reads)
+//
+// Exit clears F[s], top-down along the path.
+func Peterson(n int) (*Factory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: peterson: n must be ≥ 1, got %d", n)
+	}
+	layout := NewLayout()
+	type nodeRegs struct {
+		f [2]model.RegID
+		v model.RegID
+	}
+	nodes := make(map[int]nodeRegs, numInternal(n))
+	for v := 1; v <= numInternal(n); v++ {
+		nodes[v] = nodeRegs{
+			f: [2]model.RegID{
+				layout.Reg(fmt.Sprintf("F[%d][0]", v), 0, -1),
+				layout.Reg(fmt.Sprintf("F[%d][1]", v), 0, -1),
+			},
+			v: layout.Reg(fmt.Sprintf("V[%d]", v), 0, -1),
+		}
+	}
+
+	progs := make([]*program.Program, n)
+	for i := 0; i < n; i++ {
+		b := program.NewBuilder(fmt.Sprintf("peterson/%d", i))
+		f := b.Var("f")
+		t := b.Var("t")
+		path := pathToRoot(n, i)
+
+		b.Try()
+		for lvl, tn := range path {
+			regs := nodes[tn.node]
+			wait := fmt.Sprintf("wait%d", lvl)
+			acquired := fmt.Sprintf("acquired%d", lvl)
+			b.Write(regs.f[tn.side], program.Const(1))
+			b.Write(regs.v, program.Const(model.Value(tn.side)))
+			b.Label(wait)
+			b.Read(regs.f[1-tn.side], f)
+			b.If(program.Eq(f, program.Const(0)), acquired)
+			b.Read(regs.v, t)
+			b.If(program.Eq(t, program.Const(model.Value(tn.side))), wait)
+			b.Label(acquired)
+			b.Let(f, program.Const(0))
+			b.Let(t, program.Const(0))
+		}
+		b.Enter()
+		b.Exit()
+		for lvl := len(path) - 1; lvl >= 0; lvl-- {
+			tn := path[lvl]
+			b.Write(nodes[tn.node].f[tn.side], program.Const(0))
+		}
+		b.Rem()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("mutex: peterson: %w", err)
+		}
+		progs[i] = p
+	}
+	return NewFactory(fmt.Sprintf("peterson(n=%d)", n), layout, progs), nil
+}

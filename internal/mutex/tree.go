@@ -1,0 +1,40 @@
+package mutex
+
+// Tournament-tree geometry shared by the Yang–Anderson and Peterson
+// tournament algorithms. Internal nodes are numbered in heap order
+// (root = 1); process i's leaf is node leafBase + i where leafBase is the
+// smallest power of two ≥ n. A process climbs from its leaf's parent to the
+// root, competing on one side (the low bit of the child it came from) at
+// each internal node.
+
+// leafBase returns the smallest power of two ≥ n (and ≥ 1).
+func leafBase(n int) int {
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// treeNode is one internal node on a process's path.
+type treeNode struct {
+	node int // heap-order index of the internal node, in [1, leafBase)
+	side int // 0 or 1: which child subtree the process arrives from
+}
+
+// pathToRoot returns the internal nodes process i traverses bottom-up
+// (leaf's parent first, root last). For n = 1 the path is empty.
+func pathToRoot(n, i int) []treeNode {
+	base := leafBase(n)
+	var path []treeNode
+	cur := base + i
+	for cur > 1 {
+		path = append(path, treeNode{node: cur >> 1, side: cur & 1})
+		cur >>= 1
+	}
+	return path
+}
+
+// numInternal returns the number of internal nodes allocated for n
+// processes: leafBase(n) - 1.
+func numInternal(n int) int { return leafBase(n) - 1 }

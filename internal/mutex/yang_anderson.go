@@ -1,0 +1,155 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// YangAnderson builds the n-process local-spin tournament algorithm of
+// Yang and Anderson ("A fast, scalable mutual exclusion algorithm",
+// Distributed Computing 1995) — reference [13] of the paper and the witness
+// that the Ω(n log n) lower bound is tight: every canonical execution has
+// O(n log n) state change cost, because each of a process's O(log n) node
+// acquisitions performs O(1) writes and busywaits only on its own spin
+// flag (a single register, which the SC model charges once per value
+// change).
+//
+// Each internal tree node v carries three registers C[v][0], C[v][1] (the
+// two sides' announcements) and T[v] (the tie-breaker); process identities
+// are stored as i+1 so that 0 means "nobody". Each process i owns one spin
+// flag per tree level, P[i][lvl] (DSM home i), with values 0 (reset), 1
+// (advance past the first await) and 2 (the rival has exited). The flags
+// must be per level: a process's announcement at an already-won lower node
+// remains visible while it competes higher up, so a newly arriving rival at
+// the lower node may perform the wake-up write concurrently with the
+// competition at the higher node. With a single flag that spurious wake
+// both releases the first await prematurely and causes the genuine wake to
+// be skipped (the waker sees P ≠ 0), deadlocking the node. Per-level flags
+// make every wake land at the node it belongs to; both competitors at a
+// node are at the same depth, so the waker knows the level.
+//
+// Per node at level lvl, entry for process i on side s runs:
+//
+//	C[v][s] := i;  T[v] := i;  P[i][lvl] := 0
+//	rival := C[v][1-s]
+//	if rival ≠ 0 and T[v] = i:
+//	    if P[rival][lvl] = 0: P[rival][lvl] := 1   // release a rival stuck by the race on T
+//	    await P[i][lvl] ≠ 0
+//	    if T[v] = i: await P[i][lvl] > 1           // still the loser: wait for rival's exit
+//
+// and exit (top-down on the path, which keeps at most two processes
+// competing at any node) runs:
+//
+//	C[v][s] := 0
+//	rival := T[v]
+//	if rival ≠ i: P[rival][lvl] := 2
+func YangAnderson(n int) (*Factory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mutex: yang-anderson: n must be ≥ 1, got %d", n)
+	}
+	layout := NewLayout()
+	levels := len(pathToRoot(n, 0)) // identical for every process: the tree is complete
+	// P[i][lvl] at pBase + i*levels + lvl, DSM-local to its owner: the
+	// defining property of a local-spin algorithm.
+	pBase := model.RegID(layout.Len())
+	for i := 0; i < n; i++ {
+		for lvl := 0; lvl < levels; lvl++ {
+			layout.Reg(fmt.Sprintf("P[%d][%d]", i, lvl), 0, i)
+		}
+	}
+	// C and T registers per internal node.
+	type nodeRegs struct {
+		c [2]model.RegID
+		t model.RegID
+	}
+	nodes := make(map[int]nodeRegs, numInternal(n))
+	for v := 1; v <= numInternal(n); v++ {
+		nodes[v] = nodeRegs{
+			c: [2]model.RegID{
+				layout.Reg(fmt.Sprintf("C[%d][0]", v), 0, -1),
+				layout.Reg(fmt.Sprintf("C[%d][1]", v), 0, -1),
+			},
+			t: layout.Reg(fmt.Sprintf("T[%d]", v), 0, -1),
+		}
+	}
+
+	progs := make([]*program.Program, n)
+	for i := 0; i < n; i++ {
+		b := program.NewBuilder(fmt.Sprintf("yang-anderson/%d", i))
+		me := program.Const(model.Value(i + 1))
+		rival := b.Var("rival")
+		t := b.Var("t")
+		rp := b.Var("rp")
+		w := b.Var("w")
+		path := pathToRoot(n, i)
+
+		// rivalFlag returns the register-index expression for
+		// P[rival-1][lvl] = pBase + (rival-1)*levels + lvl.
+		rivalFlag := func(lvl int) program.Expr {
+			return program.Add(
+				program.Mul(rival, program.Const(model.Value(levels))),
+				program.Const(model.Value(pBase)+model.Value(lvl)-model.Value(levels)),
+			)
+		}
+		myFlag := func(lvl int) model.RegID {
+			return pBase + model.RegID(i*levels+lvl)
+		}
+
+		b.Try()
+		for lvl, tn := range path {
+			regs := nodes[tn.node]
+			acquired := fmt.Sprintf("acquired%d", lvl)
+			skipWake := fmt.Sprintf("skipwake%d", lvl)
+
+			b.Write(regs.c[tn.side], me)
+			b.Write(regs.t, me)
+			b.Write(myFlag(lvl), program.Const(0))
+			b.Read(regs.c[1-tn.side], rival)
+			b.If(program.Eq(rival, program.Const(0)), acquired)
+			b.Read(regs.t, t)
+			b.If(program.Ne(t, me), acquired)
+			b.ReadX(rivalFlag(lvl), rp)
+			b.If(program.Ne(rp, program.Const(0)), skipWake)
+			b.WriteX(rivalFlag(lvl), program.Const(1))
+			b.Label(skipWake)
+			b.Spin(myFlag(lvl), w, program.Ne(w, program.Const(0)))
+			b.Read(regs.t, t)
+			b.If(program.Ne(t, me), acquired)
+			b.Spin(myFlag(lvl), w, program.Gt(w, program.Const(1)))
+			b.Label(acquired)
+			// Scrub scratch variables so the automaton state entering the
+			// next level is independent of which branch ran.
+			b.Let(rival, program.Const(0))
+			b.Let(t, program.Const(0))
+			b.Let(rp, program.Const(0))
+			b.Let(w, program.Const(0))
+		}
+		b.Enter()
+		b.Exit()
+		// Release top-down: root first, then down toward the leaf. This
+		// order guarantees a node's loser cannot advance (and re-enter a
+		// higher node) until the winner has fully left that higher node.
+		for lvl := len(path) - 1; lvl >= 0; lvl-- {
+			tn := path[lvl]
+			regs := nodes[tn.node]
+			done := fmt.Sprintf("released%d", lvl)
+			b.Write(regs.c[tn.side], program.Const(0))
+			b.Read(regs.t, rival)
+			b.If(program.Eq(rival, me), done)
+			b.If(program.Eq(rival, program.Const(0)), done)
+			b.WriteX(rivalFlag(lvl), program.Const(2))
+			b.Label(done)
+			b.Let(rival, program.Const(0))
+		}
+		b.Rem()
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("mutex: yang-anderson: %w", err)
+		}
+		progs[i] = p
+	}
+	return NewFactory(fmt.Sprintf("yang-anderson(n=%d)", n), layout, progs), nil
+}

@@ -1,0 +1,179 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Expr is a side-effect-free expression over a process's local variables.
+// Expressions are evaluated by the interpreter when computing written
+// values, branch conditions and spin predicates. Booleans are represented
+// as 0 (false) and 1 (true), C-style.
+type Expr interface {
+	// Eval evaluates the expression in the given local environment.
+	Eval(env []model.Value) model.Value
+	// String renders the expression for disassembly and error messages.
+	String() string
+}
+
+// ConstExpr is a literal value.
+type ConstExpr struct{ V model.Value }
+
+// Eval returns the literal.
+func (c ConstExpr) Eval([]model.Value) model.Value { return c.V }
+
+// String renders the literal.
+func (c ConstExpr) String() string { return fmt.Sprintf("%d", c.V) }
+
+// Const returns a literal expression.
+func Const(v model.Value) Expr { return ConstExpr{V: v} }
+
+// VarRef is a reference to a local variable. VarRefs are created by
+// Builder.Var and are also usable directly as expressions.
+type VarRef struct {
+	Index int
+	Name  string
+}
+
+// Eval reads the variable from the environment.
+func (v VarRef) Eval(env []model.Value) model.Value { return env[v.Index] }
+
+// String renders the variable name.
+func (v VarRef) String() string { return v.Name }
+
+// BinOp enumerates binary operators available to programs.
+type BinOp uint8
+
+// Binary operators. Comparison and logical operators yield 0 or 1.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||",
+}
+
+// BinExpr applies a binary operator to two subexpressions.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval evaluates both operands and applies the operator. Division and
+// modulus by zero yield zero rather than panicking: a deterministic
+// automaton must have a total transition function.
+func (b BinExpr) Eval(env []model.Value) model.Value {
+	l := b.L.Eval(env)
+	r := b.R.Eval(env)
+	switch b.Op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpDiv:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	case OpMod:
+		if r == 0 {
+			return 0
+		}
+		return l % r
+	case OpEq:
+		return b2v(l == r)
+	case OpNe:
+		return b2v(l != r)
+	case OpLt:
+		return b2v(l < r)
+	case OpLe:
+		return b2v(l <= r)
+	case OpGt:
+		return b2v(l > r)
+	case OpGe:
+		return b2v(l >= r)
+	case OpAnd:
+		return b2v(l != 0 && r != 0)
+	case OpOr:
+		return b2v(l != 0 || r != 0)
+	default:
+		panic(fmt.Sprintf("program: unknown binary operator %d", b.Op))
+	}
+}
+
+// String renders the expression with full parenthesisation.
+func (b BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, binOpNames[b.Op], b.R)
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Expr }
+
+// Eval returns 1 if the operand is zero, else 0.
+func (n NotExpr) Eval(env []model.Value) model.Value { return b2v(n.E.Eval(env) == 0) }
+
+// String renders !(e).
+func (n NotExpr) String() string { return fmt.Sprintf("!%s", n.E) }
+
+func b2v(b bool) model.Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Convenience constructors. They keep algorithm definitions readable:
+// Eq(x, Const(0)) rather than BinExpr{Op: OpEq, …}.
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return BinExpr{Op: OpAdd, L: l, R: r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return BinExpr{Op: OpSub, L: l, R: r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return BinExpr{Op: OpMul, L: l, R: r} }
+
+// Eq returns l == r (0 or 1).
+func Eq(l, r Expr) Expr { return BinExpr{Op: OpEq, L: l, R: r} }
+
+// Ne returns l != r (0 or 1).
+func Ne(l, r Expr) Expr { return BinExpr{Op: OpNe, L: l, R: r} }
+
+// Lt returns l < r (0 or 1).
+func Lt(l, r Expr) Expr { return BinExpr{Op: OpLt, L: l, R: r} }
+
+// Le returns l <= r (0 or 1).
+func Le(l, r Expr) Expr { return BinExpr{Op: OpLe, L: l, R: r} }
+
+// Gt returns l > r (0 or 1).
+func Gt(l, r Expr) Expr { return BinExpr{Op: OpGt, L: l, R: r} }
+
+// Ge returns l >= r (0 or 1).
+func Ge(l, r Expr) Expr { return BinExpr{Op: OpGe, L: l, R: r} }
+
+// And returns l && r (0 or 1).
+func And(l, r Expr) Expr { return BinExpr{Op: OpAnd, L: l, R: r} }
+
+// Or returns l || r (0 or 1).
+func Or(l, r Expr) Expr { return BinExpr{Op: OpOr, L: l, R: r} }
+
+// Not returns !e (0 or 1).
+func Not(e Expr) Expr { return NotExpr{E: e} }

@@ -1,0 +1,423 @@
+// Package program implements the deterministic process automata of the
+// paper's shared-memory framework (Section 3.1) as interpreted register
+// programs.
+//
+// A Program is a straight-line list of instructions over local variables
+// and shared registers. The interpreter (Automaton) exposes exactly the
+// interface the paper's proofs require of a process automaton p_i:
+//
+//   - a deterministic transition function δ: PendingStep() computes the next
+//     shared-memory or critical step from the current state;
+//   - Feed applies the result of a step, advancing the state;
+//   - Clone copies the state, which is how the construction's SC(α, µ, i)
+//     oracle asks "would p_i change state if it read value v?";
+//   - StateKey is a canonical fingerprint of the state, which is what the
+//     state change cost model (Definition 3.1) charges on.
+//
+// Local computation (Let/If/Goto) is not a step in the paper's model, so the
+// interpreter folds it into the transition function: after every Feed the
+// automaton runs local instructions eagerly until the program counter rests
+// on a shared-memory or critical instruction. A busywait loop written as
+//
+//	loop: Read r -> x ; If x == 0 goto loop
+//
+// therefore returns to a state identical to the pre-read state whenever the
+// value read is unchanged, which makes SC-model accounting (free re-reads of
+// a single unchanged register) an exact consequence of StateKey comparison.
+// Builder.Spin emits exactly this pattern.
+package program
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// OpCode enumerates instruction kinds.
+type OpCode uint8
+
+// Instruction opcodes.
+const (
+	// OpCRead reads a shared register into a local variable.
+	OpCRead OpCode = iota
+	// OpCWrite writes the value of an expression to a shared register.
+	OpCWrite
+	// OpCRMW applies an atomic read-modify-write primitive to a register,
+	// storing the value read into a local variable. Only used by the
+	// comparison-primitive extension; the register-only model never emits it.
+	OpCRMW
+	// OpCCrit performs a critical step (try/enter/exit/rem).
+	OpCCrit
+	// OpCLet assigns an expression to a local variable (local, not a step).
+	OpCLet
+	// OpCIf jumps to Target when Cond is nonzero (local, not a step).
+	OpCIf
+	// OpCGoto jumps unconditionally (local, not a step).
+	OpCGoto
+	// OpCHalt stops the process; the automaton is halted forever after.
+	OpCHalt
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpCRead:
+		return "read"
+	case OpCWrite:
+		return "write"
+	case OpCRMW:
+		return "rmw"
+	case OpCCrit:
+		return "crit"
+	case OpCLet:
+		return "let"
+	case OpCIf:
+		return "if"
+	case OpCGoto:
+		return "goto"
+	case OpCHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Instr is a single program instruction. Field usage by opcode:
+//
+//	OpCRead:  Reg (or RegX), Dst
+//	OpCWrite: Reg (or RegX), Val
+//	OpCRMW:   Reg (or RegX), Dst, RMW, Val (arg1), Val2 (arg2)
+//	OpCCrit:  Crit
+//	OpCLet:   Dst, Val
+//	OpCIf:    Cond, Target
+//	OpCGoto:  Target
+//	OpCHalt:  —
+//
+// When RegX is non-nil the register operand is computed from the local
+// environment at access time (indirect addressing, e.g. Yang–Anderson's
+// write to P[rival] where rival was read from a register). Which register a
+// pending step accesses is still a deterministic function of the process
+// state, as the model requires.
+type Instr struct {
+	Op     OpCode
+	Reg    model.RegID
+	RegX   Expr // dynamic register operand; overrides Reg when non-nil
+	Dst    int  // local variable index
+	Val    Expr
+	Val2   Expr
+	Cond   Expr
+	Target int
+	Crit   model.CritKind
+	RMW    model.RMWKind
+	Label  string // informational: label attached to this instruction, if any
+}
+
+// regOf resolves the instruction's register operand in the environment.
+func (in Instr) regOf(env []model.Value) model.RegID {
+	if in.RegX != nil {
+		return model.RegID(in.RegX.Eval(env))
+	}
+	return in.Reg
+}
+
+// IsLocal reports whether the instruction is local computation rather than a
+// step of the paper's model.
+func (in Instr) IsLocal() bool {
+	return in.Op == OpCLet || in.Op == OpCIf || in.Op == OpCGoto
+}
+
+// Program is an immutable instruction sequence with variable metadata.
+// Build one with a Builder. A Program is shared by all automata running it;
+// only the Automaton carries mutable state.
+type Program struct {
+	Name     string
+	Instrs   []Instr
+	VarNames []string
+}
+
+// NumVars returns the number of local variables.
+func (p *Program) NumVars() int { return len(p.VarNames) }
+
+// Disassemble renders the program as readable text, one instruction per
+// line, with labels and jump targets resolved to line numbers.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q (%d vars)\n", p.Name, len(p.VarNames))
+	for i, in := range p.Instrs {
+		label := ""
+		if in.Label != "" {
+			label = in.Label + ":"
+		}
+		fmt.Fprintf(&b, "%4d %-12s ", i, label)
+		reg := fmt.Sprintf("r%d", in.Reg)
+		if in.RegX != nil {
+			reg = fmt.Sprintf("r[%s]", in.RegX)
+		}
+		switch in.Op {
+		case OpCRead:
+			fmt.Fprintf(&b, "read  %s -> %s", reg, p.VarNames[in.Dst])
+		case OpCWrite:
+			fmt.Fprintf(&b, "write %s <- %s", reg, in.Val)
+		case OpCRMW:
+			fmt.Fprintf(&b, "rmw   %s %s (%s, %s) -> %s", in.RMW, reg, in.Val, in.Val2, p.VarNames[in.Dst])
+		case OpCCrit:
+			fmt.Fprintf(&b, "crit  %s", in.Crit)
+		case OpCLet:
+			fmt.Fprintf(&b, "let   %s = %s", p.VarNames[in.Dst], in.Val)
+		case OpCIf:
+			fmt.Fprintf(&b, "if    %s goto %d", in.Cond, in.Target)
+		case OpCGoto:
+			fmt.Fprintf(&b, "goto  %d", in.Target)
+		case OpCHalt:
+			fmt.Fprintf(&b, "halt")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness:
+//   - every jump target is in range;
+//   - variable indices are in range;
+//   - there is no cycle consisting solely of local instructions (such a
+//     cycle would make the folded transition function diverge, i.e. the
+//     automaton would not be a valid process of the model).
+func (p *Program) Validate() error {
+	n := len(p.Instrs)
+	if n == 0 {
+		return fmt.Errorf("program %q: empty", p.Name)
+	}
+	for i, in := range p.Instrs {
+		switch in.Op {
+		case OpCIf, OpCGoto:
+			if in.Target < 0 || in.Target >= n {
+				return fmt.Errorf("program %q: instr %d: jump target %d out of range [0,%d)", p.Name, i, in.Target, n)
+			}
+		}
+		switch in.Op {
+		case OpCRead, OpCRMW, OpCLet:
+			if in.Dst < 0 || in.Dst >= len(p.VarNames) {
+				return fmt.Errorf("program %q: instr %d: variable index %d out of range", p.Name, i, in.Dst)
+			}
+		}
+	}
+	// Local-only cycle detection: build the local control-flow graph where
+	// a local instruction at i has edges to its possible successors, and
+	// non-local instructions are sinks. DFS with colors.
+	const (
+		white, gray, black = 0, 1, 2
+	)
+	color := make([]byte, n)
+	var visit func(i int) error
+	visit = func(i int) error {
+		if i >= n {
+			return nil
+		}
+		if !p.Instrs[i].IsLocal() {
+			return nil
+		}
+		switch color[i] {
+		case gray:
+			return fmt.Errorf("program %q: local-instruction cycle through instr %d (transition function would diverge)", p.Name, i)
+		case black:
+			return nil
+		}
+		color[i] = gray
+		in := p.Instrs[i]
+		succs := []int{}
+		switch in.Op {
+		case OpCLet:
+			succs = append(succs, i+1)
+		case OpCGoto:
+			succs = append(succs, in.Target)
+		case OpCIf:
+			succs = append(succs, i+1, in.Target)
+		}
+		for _, s := range succs {
+			if s < n {
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := range p.Instrs {
+		if color[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Automaton is a running instance of a Program for one process: the paper's
+// deterministic process automaton. Its state is (pc, local variables,
+// halted); the state is always normalized so that pc rests on a non-local
+// instruction (or the automaton is halted).
+type Automaton struct {
+	prog   *Program
+	proc   int
+	pc     int
+	env    []model.Value
+	halted bool
+}
+
+// maxLocalOps bounds the number of local instructions executed during one
+// normalization; exceeding it indicates a diverging transition function
+// (which Validate should have rejected).
+const maxLocalOps = 1_000_000
+
+// NewAutomaton creates an automaton for process proc in its initial state.
+func NewAutomaton(p *Program, proc int) *Automaton {
+	a := &Automaton{
+		prog: p,
+		proc: proc,
+		env:  make([]model.Value, p.NumVars()),
+	}
+	a.normalize()
+	return a
+}
+
+// Proc returns the process index this automaton runs as.
+func (a *Automaton) Proc() int { return a.proc }
+
+// Program returns the underlying program.
+func (a *Automaton) Program() *Program { return a.prog }
+
+// Halted reports whether the process has executed Halt.
+func (a *Automaton) Halted() bool { return a.halted }
+
+// PC returns the current (normalized) program counter; for debugging.
+func (a *Automaton) PC() int { return a.pc }
+
+// Env returns a copy of the local variable environment; for debugging.
+func (a *Automaton) Env() []model.Value {
+	out := make([]model.Value, len(a.env))
+	copy(out, a.env)
+	return out
+}
+
+// normalize runs local instructions until pc rests on a non-local
+// instruction or the program ends (which halts the automaton).
+func (a *Automaton) normalize() {
+	for ops := 0; ; ops++ {
+		if ops > maxLocalOps {
+			panic(fmt.Sprintf("program %q: process %d: local instructions diverge at pc=%d", a.prog.Name, a.proc, a.pc))
+		}
+		if a.pc >= len(a.prog.Instrs) {
+			a.halted = true
+			return
+		}
+		in := a.prog.Instrs[a.pc]
+		switch in.Op {
+		case OpCLet:
+			a.env[in.Dst] = in.Val.Eval(a.env)
+			a.pc++
+		case OpCGoto:
+			a.pc = in.Target
+		case OpCIf:
+			if in.Cond.Eval(a.env) != 0 {
+				a.pc = in.Target
+			} else {
+				a.pc++
+			}
+		case OpCHalt:
+			a.halted = true
+			return
+		default:
+			return
+		}
+	}
+}
+
+// PendingStep computes δ(state): the next step the process will take.
+// The returned step has Proc filled in; for reads the Val field is
+// meaningless until the step is executed. Calling PendingStep repeatedly
+// without Feed returns the same step; it does not mutate state.
+// PendingStep panics if the automaton is halted.
+func (a *Automaton) PendingStep() model.Step {
+	if a.halted {
+		panic(fmt.Sprintf("program %q: process %d: PendingStep on halted automaton", a.prog.Name, a.proc))
+	}
+	in := a.prog.Instrs[a.pc]
+	switch in.Op {
+	case OpCRead:
+		return model.Step{Proc: a.proc, Kind: model.KindRead, Reg: in.regOf(a.env)}
+	case OpCWrite:
+		return model.Step{Proc: a.proc, Kind: model.KindWrite, Reg: in.regOf(a.env), Val: in.Val.Eval(a.env)}
+	case OpCRMW:
+		return model.Step{
+			Proc: a.proc, Kind: model.KindRMW, Reg: in.regOf(a.env), RMW: in.RMW,
+			Arg1: in.Val.Eval(a.env), Arg2: in.Val2.Eval(a.env),
+		}
+	case OpCCrit:
+		return model.Step{Proc: a.proc, Kind: model.KindCrit, Crit: in.Crit}
+	default:
+		panic(fmt.Sprintf("program %q: process %d: non-normalized pc=%d (%s)", a.prog.Name, a.proc, a.pc, in.Op))
+	}
+}
+
+// Feed applies the result of executing the pending step and advances the
+// state. For reads and RMWs, v is the value read; for writes and critical
+// steps v is ignored. Feed then re-normalizes.
+func (a *Automaton) Feed(v model.Value) {
+	if a.halted {
+		panic(fmt.Sprintf("program %q: process %d: Feed on halted automaton", a.prog.Name, a.proc))
+	}
+	in := a.prog.Instrs[a.pc]
+	switch in.Op {
+	case OpCRead, OpCRMW:
+		a.env[in.Dst] = v
+		a.pc++
+	case OpCWrite, OpCCrit:
+		a.pc++
+	default:
+		panic(fmt.Sprintf("program %q: process %d: Feed at non-step pc=%d (%s)", a.prog.Name, a.proc, a.pc, in.Op))
+	}
+	a.normalize()
+}
+
+// Clone returns an independent copy of the automaton in the same state.
+func (a *Automaton) Clone() *Automaton {
+	env := make([]model.Value, len(a.env))
+	copy(env, a.env)
+	return &Automaton{prog: a.prog, proc: a.proc, pc: a.pc, env: env, halted: a.halted}
+}
+
+// StateKey returns a canonical fingerprint of the automaton state. Two
+// automata for the same program have equal StateKeys iff they are in the
+// same state. The state change cost model charges a shared-memory step
+// exactly when the StateKey changes across it.
+func (a *Automaton) StateKey() string {
+	var b strings.Builder
+	b.Grow(8 + 8*len(a.env))
+	if a.halted {
+		b.WriteByte('H')
+	}
+	b.WriteString(strconv.Itoa(a.pc))
+	for _, v := range a.env {
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	return b.String()
+}
+
+// WouldChangeState reports whether feeding value v to the pending read (or
+// RMW) would change the automaton's state. This is the paper's SC(α, m, i)
+// helper (Figure 1): process p_i, whose state is st(α, i), changes state
+// upon reading v exactly when this returns true. It panics if the pending
+// step is not a read or RMW.
+func (a *Automaton) WouldChangeState(v model.Value) bool {
+	in := a.prog.Instrs[a.pc]
+	if in.Op != OpCRead && in.Op != OpCRMW {
+		panic(fmt.Sprintf("program %q: process %d: WouldChangeState at non-read pc=%d", a.prog.Name, a.proc, a.pc))
+	}
+	before := a.StateKey()
+	c := a.Clone()
+	c.Feed(v)
+	return c.StateKey() != before
+}

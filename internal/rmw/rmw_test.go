@@ -1,0 +1,118 @@
+package rmw_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/mutex"
+	"repro/internal/rmw"
+	"repro/internal/verify"
+)
+
+func TestRMWLocksSolveMutex(t *testing.T) {
+	builders := map[string]func(int) (*mutex.Factory, error){
+		"tas": rmw.TestAndSet,
+		"mcs": rmw.MCS,
+	}
+	for name, build := range builders {
+		for _, n := range []int{1, 2, 3, 5, 8, 16, 32} {
+			for seed := int64(0); seed < 8; seed++ {
+				t.Run(fmt.Sprintf("%s/n=%d/seed=%d", name, n, seed), func(t *testing.T) {
+					f, err := build(n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exec, err := machine.RunCanonical(f, machine.NewRandom(seed), 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := verify.MutexExecution(f, exec); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestFactoriesReportRMW(t *testing.T) {
+	tas, err := rmw.TestAndSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tas.UsesRMW() {
+		t.Fatal("TAS factory must report RMW usage")
+	}
+	mcs, err := rmw.MCS(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mcs.UsesRMW() {
+		t.Fatal("MCS factory must report RMW usage")
+	}
+}
+
+// TestMCSQueueHandoff: under round-robin all processes pile onto the queue;
+// the lock must hand off in queue order without lost wakeups.
+func TestMCSQueueHandoff(t *testing.T) {
+	f, err := rmw.MCS(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := machine.RunCanonical(f, machine.NewRoundRobin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.MutexExecution(f, exec); err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin enqueues 0..5 in order; MCS is FIFO, so entries follow.
+	want := []int{0, 1, 2, 3, 4, 5}
+	got := exec.EntryOrder()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MCS handoff order %v, want FIFO %v", got, want)
+		}
+	}
+}
+
+// TestMCSLocalSpin: MCS spins only on the process's own locked flag, so
+// under the HoldCS adversary SC cost stays bounded while accesses grow.
+func TestMCSLocalSpin(t *testing.T) {
+	var scBase int
+	for i, delay := range []int{0, 200} {
+		f, err := rmw.MCS(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := machine.RunCanonical(f, machine.NewHoldCS(delay), 2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := cost.Measure(f, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			scBase = rep.SC
+			continue
+		}
+		if rep.SC > 2*scBase {
+			t.Fatalf("MCS SC grew from %d to %d under contention: not local-spin", scBase, rep.SC)
+		}
+		if rep.SharedAccesses < 5*scBase {
+			t.Fatalf("expected accesses (%d) to dwarf SC (%d) under delay", rep.SharedAccesses, rep.SC)
+		}
+	}
+}
+
+func TestInvalidN(t *testing.T) {
+	if _, err := rmw.TestAndSet(0); err == nil {
+		t.Fatal("TAS n=0 accepted")
+	}
+	if _, err := rmw.MCS(-1); err == nil {
+		t.Fatal("MCS n=-1 accepted")
+	}
+}

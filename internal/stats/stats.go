@@ -1,0 +1,123 @@
+// Package stats provides the small amount of statistics the experiment
+// harness needs: least-squares fits of power laws (cost ≈ a·n^k) and of
+// n·log n growth, used to turn cost sweeps into measured exponents that can
+// be compared against the paper's Θ(·) claims.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is one (n, value) measurement.
+type Point struct {
+	N     int
+	Value float64
+}
+
+// PowerFit is the result of fitting value ≈ a · n^k by least squares on
+// log-log coordinates.
+type PowerFit struct {
+	Exponent float64 // k
+	Scale    float64 // a
+	R2       float64 // coefficient of determination in log space
+}
+
+// String renders the fit.
+func (f PowerFit) String() string {
+	return fmt.Sprintf("%.3g·n^%.2f (R²=%.3f)", f.Scale, f.Exponent, f.R2)
+}
+
+// FitPower fits value ≈ a·n^k over the points. It requires at least two
+// points with positive n and value.
+func FitPower(points []Point) (PowerFit, error) {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.N <= 0 || p.Value <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(p.N)))
+		ys = append(ys, math.Log(p.Value))
+	}
+	if len(xs) < 2 {
+		return PowerFit{}, fmt.Errorf("stats: need at least 2 positive points, have %d", len(xs))
+	}
+	slope, intercept, r2 := leastSquares(xs, ys)
+	return PowerFit{Exponent: slope, Scale: math.Exp(intercept), R2: r2}, nil
+}
+
+// NLogNFit is the result of fitting value ≈ c · n·log₂(n).
+type NLogNFit struct {
+	C float64 // the constant
+	// MaxDev is the maximum relative deviation of any point from c·n·lg n;
+	// a bounded MaxDev across a wide n range is the "Θ(n log n) shape".
+	MaxDev float64
+}
+
+// String renders the fit.
+func (f NLogNFit) String() string {
+	return fmt.Sprintf("%.2f·n·lg n (max dev %.1f%%)", f.C, 100*f.MaxDev)
+}
+
+// FitNLogN fits value ≈ c·(n·lg n) by least squares through the origin and
+// reports the worst relative deviation.
+func FitNLogN(points []Point) (NLogNFit, error) {
+	var num, den float64
+	kept := 0
+	for _, p := range points {
+		if p.N < 2 {
+			continue
+		}
+		x := float64(p.N) * math.Log2(float64(p.N))
+		num += x * p.Value
+		den += x * x
+		kept++
+	}
+	if kept < 2 || den == 0 {
+		return NLogNFit{}, fmt.Errorf("stats: need at least 2 points with n ≥ 2, have %d", kept)
+	}
+	c := num / den
+	fit := NLogNFit{C: c}
+	for _, p := range points {
+		if p.N < 2 {
+			continue
+		}
+		pred := c * float64(p.N) * math.Log2(float64(p.N))
+		dev := math.Abs(p.Value-pred) / pred
+		if dev > fit.MaxDev {
+			fit.MaxDev = dev
+		}
+	}
+	return fit, nil
+}
+
+// leastSquares returns slope, intercept, and R² of a simple linear fit.
+func leastSquares(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	// R² = 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}

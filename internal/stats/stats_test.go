@@ -1,0 +1,120 @@
+package stats_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestFitPowerExact(t *testing.T) {
+	// value = 3·n².
+	var pts []stats.Point
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		pts = append(pts, stats.Point{N: n, Value: 3 * float64(n*n)})
+	}
+	fit, err := stats.FitPower(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-2) > 1e-9 || math.Abs(fit.Scale-3) > 1e-6 || fit.R2 < 0.9999 {
+		t.Fatalf("fit = %v, want 3·n^2", fit)
+	}
+}
+
+func TestFitPowerNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []stats.Point
+	for n := 2; n <= 256; n *= 2 {
+		noise := 1 + 0.1*(rng.Float64()-0.5)
+		pts = append(pts, stats.Point{N: n, Value: 5 * math.Pow(float64(n), 1.5) * noise})
+	}
+	fit, err := stats.FitPower(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-1.5) > 0.1 {
+		t.Fatalf("exponent %.3f, want ≈1.5", fit.Exponent)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R² = %.4f too low for 5%% noise", fit.R2)
+	}
+}
+
+func TestFitPowerProperty(t *testing.T) {
+	// For any positive (a, k) in a reasonable range, fitting exact data
+	// recovers them.
+	err := quick.Check(func(aRaw, kRaw uint8) bool {
+		a := 0.5 + float64(aRaw%50)
+		k := 0.25 + float64(kRaw%12)/4.0
+		var pts []stats.Point
+		for _, n := range []int{2, 3, 5, 8, 13, 21, 34} {
+			pts = append(pts, stats.Point{N: n, Value: a * math.Pow(float64(n), k)})
+		}
+		fit, err := stats.FitPower(pts)
+		return err == nil && math.Abs(fit.Exponent-k) < 1e-6 && fit.R2 > 0.999999
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerErrors(t *testing.T) {
+	if _, err := stats.FitPower(nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := stats.FitPower([]stats.Point{{N: 4, Value: 1}}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := stats.FitPower([]stats.Point{{N: -1, Value: 1}, {N: 0, Value: 2}}); err == nil {
+		t.Fatal("nonpositive points accepted")
+	}
+}
+
+func TestFitNLogNExact(t *testing.T) {
+	var pts []stats.Point
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		pts = append(pts, stats.Point{N: n, Value: 7 * float64(n) * math.Log2(float64(n))})
+	}
+	fit, err := stats.FitNLogN(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.C-7) > 1e-9 || fit.MaxDev > 1e-9 {
+		t.Fatalf("fit = %v, want 7·n·lg n exactly", fit)
+	}
+}
+
+func TestFitNLogNDetectsQuadratic(t *testing.T) {
+	// Quadratic data should show a large deviation from any c·n·lg n fit.
+	var pts []stats.Point
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		pts = append(pts, stats.Point{N: n, Value: float64(n * n)})
+	}
+	fit, err := stats.FitNLogN(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.MaxDev < 0.5 {
+		t.Fatalf("quadratic data fit n·lg n with max dev %.2f; the fit cannot discriminate", fit.MaxDev)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	f, err := stats.FitPower([]stats.Point{{N: 2, Value: 4}, {N: 4, Value: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() == "" {
+		t.Fatal("empty PowerFit string")
+	}
+	g, err := stats.FitNLogN([]stats.Point{{N: 2, Value: 2}, {N: 4, Value: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() == "" {
+		t.Fatal("empty NLogNFit string")
+	}
+}

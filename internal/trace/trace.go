@@ -1,0 +1,170 @@
+// Package trace renders executions for humans: a per-process timeline of
+// the interleaving with critical-section intervals, state-change charging,
+// and register activity — the fastest way to see *why* an algorithm costs
+// what it costs, or to inspect a counterexample from the verifier.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/program"
+)
+
+// Options tunes the rendering.
+type Options struct {
+	// MaxSteps caps the number of rendered steps (0 = all).
+	MaxSteps int
+	// Registers annotates each write with the register name if non-nil.
+	RegisterName func(model.RegID) string
+	// ShowFree marks steps that the SC model does not charge.
+	ShowFree bool
+}
+
+// Timeline renders the execution as one row per step with a column per
+// process. Each row shows which process moved and what it did; the acting
+// process's column carries a glyph:
+//
+//	T E X Q   try / enter / exit / rem
+//	w         write (always charged)
+//	r         charged read
+//	·         free read (busywait re-read; SC cost 0)
+//	*         RMW
+//
+// A '█' block in a column marks a process inside its critical section.
+func Timeline(f program.Factory, exec model.Execution, opt Options) (string, error) {
+	n := f.N()
+	rep := machine.NewReplayer(f)
+	var b strings.Builder
+
+	// Header.
+	b.WriteString("step  ")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "p%-3d", i)
+	}
+	b.WriteString("  action\n")
+
+	inCS := make([]bool, n)
+	limit := len(exec)
+	if opt.MaxSteps > 0 && opt.MaxSteps < limit {
+		limit = opt.MaxSteps
+	}
+	for t := 0; t < limit; t++ {
+		before := rep.SCCost()
+		done, err := rep.Apply(exec[t])
+		if err != nil {
+			return b.String(), fmt.Errorf("trace: step %d: %w", t, err)
+		}
+		charged := rep.SCCost() != before
+
+		glyph := ""
+		switch done.Kind {
+		case model.KindCrit:
+			switch done.Crit {
+			case model.CritTry:
+				glyph = "T"
+			case model.CritEnter:
+				glyph = "E"
+				inCS[done.Proc] = true
+			case model.CritExit:
+				glyph = "X"
+				inCS[done.Proc] = false
+			case model.CritRem:
+				glyph = "Q"
+			}
+		case model.KindWrite:
+			glyph = "w"
+		case model.KindRead:
+			if charged {
+				glyph = "r"
+			} else {
+				glyph = "·"
+			}
+		case model.KindRMW:
+			glyph = "*"
+		}
+
+		fmt.Fprintf(&b, "%5d ", t)
+		for i := 0; i < n; i++ {
+			cell := " "
+			if inCS[i] && i != done.Proc {
+				cell = "█"
+			}
+			if i == done.Proc {
+				cell = glyph
+			}
+			fmt.Fprintf(&b, "%-4s", cell)
+		}
+		b.WriteString("  ")
+		b.WriteString(describe(done, charged, opt))
+		b.WriteByte('\n')
+	}
+	if limit < len(exec) {
+		fmt.Fprintf(&b, "… %d more steps\n", len(exec)-limit)
+	}
+	return b.String(), nil
+}
+
+func describe(s model.Step, charged bool, opt Options) string {
+	name := func(r model.RegID) string {
+		if opt.RegisterName != nil {
+			return opt.RegisterName(r)
+		}
+		return fmt.Sprintf("r%d", r)
+	}
+	var d string
+	switch s.Kind {
+	case model.KindCrit:
+		d = fmt.Sprintf("%s_%d", s.Crit, s.Proc)
+	case model.KindWrite:
+		d = fmt.Sprintf("p%d writes %s := %d", s.Proc, name(s.Reg), s.Val)
+	case model.KindRead:
+		d = fmt.Sprintf("p%d reads %s = %d", s.Proc, name(s.Reg), s.Val)
+	case model.KindRMW:
+		d = fmt.Sprintf("p%d %s %s -> %d", s.Proc, s.RMW, name(s.Reg), s.Val)
+	}
+	if opt.ShowFree && s.Kind == model.KindRead && !charged {
+		d += "  (free)"
+	}
+	return d
+}
+
+// Summary renders per-process totals: steps, charged steps, CS interval.
+func Summary(f program.Factory, exec model.Execution) (string, error) {
+	n := f.N()
+	rep := machine.NewReplayer(f)
+	steps := make([]int, n)
+	charged := make([]int, n)
+	enterAt := make([]int, n)
+	exitAt := make([]int, n)
+	for i := range enterAt {
+		enterAt[i], exitAt[i] = -1, -1
+	}
+	for t, s := range exec {
+		before := rep.SCCost()
+		done, err := rep.Apply(s)
+		if err != nil {
+			return "", fmt.Errorf("trace: step %d: %w", t, err)
+		}
+		steps[done.Proc]++
+		if rep.SCCost() != before {
+			charged[done.Proc]++
+		}
+		if done.Kind == model.KindCrit {
+			switch done.Crit {
+			case model.CritEnter:
+				enterAt[done.Proc] = t
+			case model.CritExit:
+				exitAt[done.Proc] = t
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("proc  steps  SC-cost  CS-interval\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "p%-4d %-6d %-8d [%d, %d]\n", i, steps[i], charged[i], enterAt[i], exitAt[i])
+	}
+	return b.String(), nil
+}

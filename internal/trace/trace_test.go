@@ -1,0 +1,95 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/mutex"
+	"repro/internal/trace"
+)
+
+func canonical(t *testing.T, name string, n int) (*mutex.Factory, model.Execution) {
+	t.Helper()
+	f, err := mutex.New(name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := machine.RunCanonical(f, machine.NewRoundRobin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, e
+}
+
+func TestTimelineRenders(t *testing.T) {
+	f, exec := canonical(t, mutex.NameYangAnderson, 3)
+	out, err := trace.Timeline(f, exec, trace.Options{ShowFree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"try_0", "enter_0", "rem_2", "writes", "reads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+	// Spinning under round-robin must produce at least one free read.
+	if !strings.Contains(out, "(free)") {
+		t.Error("no free (uncharged) reads rendered; expected spinning under round-robin")
+	}
+	if lines := strings.Count(out, "\n"); lines != len(exec)+1 {
+		t.Errorf("timeline has %d lines, want %d steps + header", lines, len(exec))
+	}
+}
+
+func TestTimelineMaxSteps(t *testing.T) {
+	f, exec := canonical(t, mutex.NameBakery, 3)
+	out, err := trace.Timeline(f, exec, trace.Options{MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "more steps") {
+		t.Error("truncation marker missing")
+	}
+}
+
+func TestTimelineRegisterNames(t *testing.T) {
+	f, exec := canonical(t, mutex.NameYangAnderson, 2)
+	lay := f.Layout()
+	out, err := trace.Timeline(f, exec, trace.Options{
+		RegisterName: func(r model.RegID) string { return lay.Name(r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "C[1][0]") {
+		t.Errorf("register names not applied:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	f, exec := canonical(t, mutex.NameYangAnderson, 3)
+	out, err := trace.Summary(f, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "CS-interval") {
+		t.Errorf("summary malformed:\n%s", out)
+	}
+	// Every process entered and exited: no [-1, -1] rows.
+	if strings.Contains(out, "[-1") {
+		t.Errorf("summary shows missing CS interval:\n%s", out)
+	}
+}
+
+func TestTimelineRejectsForeignExecution(t *testing.T) {
+	f, _ := canonical(t, mutex.NameYangAnderson, 2)
+	bad := model.Execution{{Proc: 0, Kind: model.KindWrite, Reg: 0, Val: 1}}
+	if _, err := trace.Timeline(f, bad, trace.Options{}); err == nil {
+		t.Fatal("foreign execution accepted")
+	}
+	if _, err := trace.Summary(f, bad); err == nil {
+		t.Fatal("foreign execution accepted by Summary")
+	}
+}

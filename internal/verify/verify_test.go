@@ -1,0 +1,150 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/mutex"
+	"repro/internal/program"
+	"repro/internal/verify"
+)
+
+func c(proc int, k model.CritKind) model.Step {
+	return model.Step{Proc: proc, Kind: model.KindCrit, Crit: k}
+}
+
+func TestWellFormed(t *testing.T) {
+	good := model.Execution{
+		c(0, model.CritTry), c(1, model.CritTry),
+		c(0, model.CritEnter), c(0, model.CritExit), c(0, model.CritRem),
+		c(1, model.CritEnter), c(1, model.CritExit), c(1, model.CritRem),
+	}
+	if err := verify.WellFormed(good, 2); err != nil {
+		t.Fatalf("good execution rejected: %v", err)
+	}
+	bad := model.Execution{c(0, model.CritEnter)}
+	if err := verify.WellFormed(bad, 1); err == nil {
+		t.Fatal("enter-before-try accepted")
+	}
+	outOfRange := model.Execution{c(5, model.CritTry)}
+	if err := verify.WellFormed(outOfRange, 2); err == nil {
+		t.Fatal("out-of-range process accepted")
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	overlap := model.Execution{
+		c(0, model.CritTry), c(1, model.CritTry),
+		c(0, model.CritEnter), c(1, model.CritEnter),
+	}
+	if err := verify.MutualExclusion(overlap); err == nil {
+		t.Fatal("overlapping critical sections accepted")
+	}
+	seq := model.Execution{
+		c(0, model.CritTry), c(0, model.CritEnter), c(0, model.CritExit),
+		c(1, model.CritTry), c(1, model.CritEnter), c(1, model.CritExit),
+	}
+	if err := verify.MutualExclusion(seq); err != nil {
+		t.Fatalf("sequential sections rejected: %v", err)
+	}
+	// Exit by a process that is not the occupant.
+	badExit := model.Execution{c(0, model.CritTry), c(0, model.CritEnter), c(1, model.CritExit)}
+	if err := verify.MutualExclusion(badExit); err == nil {
+		t.Fatal("foreign exit accepted")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	one := model.Execution{
+		c(0, model.CritTry), c(0, model.CritEnter), c(0, model.CritExit), c(0, model.CritRem),
+	}
+	if err := verify.Canonical(one, 1); err != nil {
+		t.Fatalf("canonical rejected: %v", err)
+	}
+	if err := verify.Canonical(one, 2); err == nil {
+		t.Fatal("missing process accepted")
+	}
+	two := append(one.Clone(), one...)
+	if err := verify.Canonical(two, 1); err == nil {
+		t.Fatal("double cycle accepted")
+	}
+}
+
+func TestEntryOrder(t *testing.T) {
+	exec := model.Execution{
+		c(1, model.CritTry), c(1, model.CritEnter),
+		c(0, model.CritTry), c(1, model.CritExit), c(0, model.CritEnter),
+	}
+	if err := verify.EntryOrder(exec, []int{1, 0}); err != nil {
+		t.Fatalf("correct order rejected: %v", err)
+	}
+	if err := verify.EntryOrder(exec, []int{0, 1}); err == nil {
+		t.Fatal("wrong order accepted")
+	}
+	if err := verify.EntryOrder(exec, []int{1}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestReplayableCatchesForgedValues(t *testing.T) {
+	f, err := mutex.YangAnderson(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := machine.RunCanonical(f, machine.NewRoundRobin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Replayable(f, exec); err != nil {
+		t.Fatalf("genuine execution rejected: %v", err)
+	}
+	// Forge a read value.
+	forged := exec.Clone()
+	for i := range forged {
+		if forged[i].Kind == model.KindRead && forged[i].Val != 0 {
+			forged[i].Val++
+			break
+		}
+	}
+	if err := verify.Replayable(f, forged); err == nil {
+		t.Fatal("forged read value accepted")
+	}
+}
+
+func TestLivelockFreePasses(t *testing.T) {
+	f, err := mutex.Bakery(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := verify.LivelockFree(f, machine.NewRoundRobin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Completed || p.Steps == 0 {
+		t.Fatalf("progress %+v", p)
+	}
+}
+
+func TestLivelockFreeDetectsStuckSystem(t *testing.T) {
+	// A deliberately stuck program: after try, spin on a register nobody
+	// ever writes. The bounded-horizon check must flag the dangling try.
+	layout := mutex.NewLayout()
+	dead := layout.Reg("dead", 0, -1)
+	b := program.NewBuilder("stuck")
+	x := b.Var("x")
+	b.Try()
+	b.Spin(dead, x, program.Ne(x, program.Const(0)))
+	b.Enter()
+	b.Exit()
+	b.Rem()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mutex.NewFactory("stuck", layout, []*program.Program{p})
+	if _, err := verify.LivelockFree(f, machine.NewRoundRobin(), 2000); err == nil {
+		t.Fatal("stuck system passed the livelock check")
+	}
+}

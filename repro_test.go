@@ -1,0 +1,126 @@
+package repro_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/construct"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the README's
+// quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	algo, err := repro.NewAlgorithm(repro.AlgoYangAnderson, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := repro.RunCanonical(algo, repro.NewRoundRobin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.VerifyMutex(algo, exec); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repro.MeasureCost(algo, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SC <= 0 || rep.SC > rep.SharedAccesses {
+		t.Fatalf("implausible report %v", rep)
+	}
+	proof, err := repro.Prove(algo, []int{5, 0, 3, 1, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proof.Decoded.EntryOrder(); got[0] != 5 || got[5] != 2 {
+		t.Fatalf("entry order %v does not follow the permutation", got)
+	}
+}
+
+// TestAllAlgorithmsRegistered checks the facade registry includes the RMW
+// extension algorithms.
+func TestAllAlgorithmsRegistered(t *testing.T) {
+	names := strings.Join(repro.Algorithms(), ",")
+	for _, want := range []string{repro.AlgoYangAnderson, repro.AlgoPeterson, repro.AlgoBakery, repro.AlgoNaive, repro.AlgoTAS, repro.AlgoMCS} {
+		if !strings.Contains(names, want) {
+			t.Errorf("algorithm %q not registered (have %s)", want, names)
+		}
+	}
+}
+
+// TestRMWAlgorithmsSolveMutex runs the extension-model locks under several
+// schedulers.
+func TestRMWAlgorithmsSolveMutex(t *testing.T) {
+	for _, name := range []string{repro.AlgoTAS, repro.AlgoMCS} {
+		for _, n := range []int{1, 2, 3, 8, 16} {
+			for _, sched := range []string{"round-robin", "random", "progress-first"} {
+				algo, err := repro.NewAlgorithm(name, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := repro.NewSchedulerByName(sched, n, 77)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exec, err := repro.RunCanonical(algo, s)
+				if err != nil {
+					t.Fatalf("%s n=%d %s: %v", name, n, sched, err)
+				}
+				if err := repro.VerifyMutex(algo, exec); err != nil {
+					t.Fatalf("%s n=%d %s: %v", name, n, sched, err)
+				}
+			}
+		}
+	}
+}
+
+// TestProveRejectsRMW: the lower-bound pipeline is register-only; the
+// paper's construction does not apply to RMW primitives.
+func TestProveRejectsRMW(t *testing.T) {
+	algo, err := repro.NewAlgorithm(repro.AlgoMCS, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = repro.Prove(algo, []int{0, 1, 2})
+	if !errors.Is(err, construct.ErrRMW) {
+		t.Fatalf("want ErrRMW, got %v", err)
+	}
+}
+
+// TestMCSLinearCost: the MCS lock's canonical SC cost is O(n) — the
+// separation from the register-only Ω(n log n).
+func TestMCSLinearCost(t *testing.T) {
+	prev := 0
+	for _, n := range []int{8, 16, 32, 64} {
+		algo, err := repro.NewAlgorithm(repro.AlgoMCS, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := repro.RunCanonical(algo, repro.NewProgressFirst())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := repro.MeasureCost(algo, exec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perPassage := float64(rep.SC) / float64(n)
+		t.Logf("n=%d SC=%d per-passage=%.2f", n, rep.SC, perPassage)
+		if perPassage > 12 {
+			t.Errorf("n=%d: MCS per-passage SC=%.2f not O(1)", n, perPassage)
+		}
+		if prev != 0 && rep.SC < prev {
+			t.Errorf("n=%d: SC decreased from %d to %d", n, prev, rep.SC)
+		}
+		prev = rep.SC
+	}
+}
+
+// TestSchedulerByNameErrors covers the error path.
+func TestSchedulerByNameErrors(t *testing.T) {
+	if _, err := repro.NewSchedulerByName("fifo", 4, 0); err == nil {
+		t.Fatal("want error for unknown scheduler")
+	}
+}
