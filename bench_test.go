@@ -10,15 +10,18 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
 	"repro/internal/construct"
+	"repro/internal/core"
 	"repro/internal/decode"
 	"repro/internal/encode"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/perm"
+	"repro/internal/runner"
 )
 
 // benchExperiment runs one experiment per iteration and fails the bench if
@@ -154,6 +157,62 @@ func BenchmarkEncodeDecode(b *testing.B) {
 				bits = enc.BitLen
 			}
 			b.ReportMetric(float64(bits), "bits")
+		})
+	}
+}
+
+// BenchmarkSweepWorkers compares sequential and parallel sweep throughput
+// on the runner engine: the same fixed permutation sample swept at
+// workers=1 (the sequential path) and at GOMAXPROCS. The outputs are
+// byte-identical (see internal/experiments determinism tests); only the
+// wall time differs, by roughly the core count on an unloaded machine.
+func BenchmarkSweepWorkers(b *testing.B) {
+	f, err := repro.NewAlgorithm(repro.AlgoYangAnderson, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perms := perm.Sample(8, 24, 20060723)
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1] // single-core machine: nothing to compare against
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := runner.New(w)
+			var maxCost int
+			for i := 0; i < b.N; i++ {
+				stats, err := core.SweepOn(eng, f, perms)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxCost = stats.MaxCost
+			}
+			b.ReportMetric(float64(maxCost), "maxSC")
+		})
+	}
+}
+
+// BenchmarkExperimentsWorkers runs the full quick-scale experiment suite
+// at workers=1 vs GOMAXPROCS — the before/after of parallelizing E1–E12.
+func BenchmarkExperimentsWorkers(b *testing.B) {
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1]
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := experiments.Config{Quick: true, Seed: 20060723, Workers: w}
+			for i := 0; i < b.N; i++ {
+				for _, e := range experiments.All() {
+					tbl, err := e.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !tbl.Pass {
+						b.Fatalf("%s failed:\n%s", tbl.ID, tbl.Format())
+					}
+				}
+			}
 		})
 	}
 }

@@ -1,18 +1,23 @@
 // Command experiments regenerates every experiment table in EXPERIMENTS.md
-// (E1–E9): the machine-checked reproductions of the paper's theorems,
+// (E1–E12): the machine-checked reproductions of the paper's theorems,
 // lemmas, and positioning claims.
 //
 // Usage:
 //
-//	experiments            # full scale (about a minute)
-//	experiments -quick     # reduced sweeps
-//	experiments -only E5   # one experiment
+//	experiments                 # full scale, all experiments, GOMAXPROCS workers
+//	experiments -quick          # reduced sweeps
+//	experiments -only E5        # one experiment
+//	experiments -only E1,E5,E9  # a selection
+//	experiments -parallel 1     # force the sequential path (same bytes)
+//	experiments -json           # machine-readable output, one object per table
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,18 +30,49 @@ func main() {
 	}
 }
 
+// jsonTable is the -json wire form of one experiment result.
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Pass    bool       `json:"pass"`
+	Seconds float64    `json:"seconds"`
+}
+
 func run() error {
 	var (
-		quick = flag.Bool("quick", false, "reduced sweep sizes")
-		only  = flag.String("only", "", "run a single experiment by ID (E1..E9)")
-		seed  = flag.Int64("seed", 20060723, "seed for sampled permutations and schedules")
+		quick    = flag.Bool("quick", false, "reduced sweep sizes")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E5); empty runs all")
+		seed     = flag.Int64("seed", 20060723, "seed for sampled permutations and schedules")
+		parallel = flag.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
+		asJSON   = flag.Bool("json", false, "emit each table as a JSON object instead of aligned text")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range experiments.All() {
+		known[e.ID] = true
+	}
+	for id := range selected {
+		if !known[id] {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
+	enc := json.NewEncoder(os.Stdout)
 	failures := 0
 	for _, e := range experiments.All() {
-		if *only != "" && e.ID != *only {
+		if len(selected) > 0 && !selected[e.ID] {
 			continue
 		}
 		start := time.Now()
@@ -44,8 +80,19 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Print(tbl.Format())
-		fmt.Printf("   (%.2fs)\n\n", time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		if *asJSON {
+			if err := enc.Encode(jsonTable{
+				ID: tbl.ID, Title: tbl.Title, Claim: tbl.Claim,
+				Header: tbl.Header, Rows: tbl.Rows, Notes: tbl.Notes,
+				Pass: tbl.Pass, Seconds: elapsed,
+			}); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(tbl.Format())
+			fmt.Printf("   (%.2fs)\n\n", elapsed)
+		}
 		if !tbl.Pass {
 			failures++
 		}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/perm"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/verify"
 )
 
@@ -135,30 +136,61 @@ func (s SweepStats) MeanBits() float64 {
 }
 
 // Sweep runs the pipeline for every permutation in perms and aggregates.
+// Pipelines execute in parallel on the default engine (bounded by
+// GOMAXPROCS); use SweepOn to control the worker count.
 func Sweep(f program.Factory, perms [][]int) (SweepStats, error) {
+	return SweepOn(runner.Default(), f, perms)
+}
+
+// sweepOut is the per-permutation result a sweep aggregates. Workers
+// return this small summary instead of the whole Pipeline so an
+// out-of-order window holds kilobytes, not executions.
+type sweepOut struct {
+	cost, bits int
+	bpc        float64
+	key        string // decoded execution identity for the Distinct count
+}
+
+// SweepOn runs the pipeline for every permutation in perms on the given
+// engine and aggregates. The factory is shared read-only across workers
+// (factories are immutable; every run builds fresh automata and
+// registers), and results are folded in permutation order, so the stats —
+// including first-error behaviour — are identical at every worker count.
+func SweepOn(eng *runner.Engine, f program.Factory, perms [][]int) (SweepStats, error) {
 	stats := SweepStats{N: f.N(), MinCost: -1}
 	seen := make(map[string]bool, len(perms))
-	for _, pi := range perms {
-		p, err := Run(f, pi)
+	err := runner.MapOrdered(eng, len(perms), func(i int) (sweepOut, error) {
+		p, err := Run(f, perms[i])
 		if err != nil {
-			return stats, err
+			return sweepOut{}, err
 		}
+		return sweepOut{
+			cost: p.Cost,
+			bits: p.Encoding.BitLen,
+			bpc:  p.BitsPerCost(),
+			key:  p.Decoded.String(),
+		}, nil
+	}, func(i int, o sweepOut) error {
 		stats.Perms++
-		stats.SumCost += p.Cost
-		stats.SumBits += p.Encoding.BitLen
-		if p.Cost > stats.MaxCost {
-			stats.MaxCost = p.Cost
+		stats.SumCost += o.cost
+		stats.SumBits += o.bits
+		if o.cost > stats.MaxCost {
+			stats.MaxCost = o.cost
 		}
-		if stats.MinCost < 0 || p.Cost < stats.MinCost {
-			stats.MinCost = p.Cost
+		if stats.MinCost < 0 || o.cost < stats.MinCost {
+			stats.MinCost = o.cost
 		}
-		if p.Encoding.BitLen > stats.MaxBits {
-			stats.MaxBits = p.Encoding.BitLen
+		if o.bits > stats.MaxBits {
+			stats.MaxBits = o.bits
 		}
-		if r := p.BitsPerCost(); r > stats.MaxBitsPerCost {
-			stats.MaxBitsPerCost = r
+		if o.bpc > stats.MaxBitsPerCost {
+			stats.MaxBitsPerCost = o.bpc
 		}
-		seen[p.Decoded.String()] = true
+		seen[o.key] = true
+		return nil
+	})
+	if err != nil {
+		return stats, err
 	}
 	stats.Distinct = len(seen)
 	return stats, nil
@@ -168,6 +200,11 @@ func Sweep(f program.Factory, perms [][]int) (SweepStats, error) {
 // the injectivity required by Theorem 7.5: distinct permutations yield
 // distinct decoded executions (n! of them).
 func ExhaustiveSweep(f program.Factory) (SweepStats, error) {
+	return ExhaustiveSweepOn(runner.Default(), f)
+}
+
+// ExhaustiveSweepOn is ExhaustiveSweep on a caller-chosen engine.
+func ExhaustiveSweepOn(eng *runner.Engine, f program.Factory) (SweepStats, error) {
 	n := f.N()
 	if n > 8 {
 		return SweepStats{}, fmt.Errorf("core: exhaustive sweep of S_%d (%d permutations) refused; use Sweep with a sample", n, perm.Factorial(n))
@@ -177,7 +214,7 @@ func ExhaustiveSweep(f program.Factory) (SweepStats, error) {
 		perms = append(perms, append([]int(nil), pi...))
 		return true
 	})
-	stats, err := Sweep(f, perms)
+	stats, err := SweepOn(eng, f, perms)
 	if err != nil {
 		return stats, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/encode"
 	"repro/internal/perm"
+	"repro/internal/runner"
 )
 
 // E10CCExtension — Section 8 claims the proof technique "extends with minor
@@ -26,48 +27,73 @@ func E10CCExtension(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		ns = append(ns, 12, 16, 24)
 	}
+	type job struct {
+		algo string
+		n    int
+	}
+	var jobs []job
 	for _, name := range []string{"yang-anderson", "bakery"} {
 		for _, n := range ns {
-			f, err := algo(name, n)
-			if err != nil {
-				return nil, err
-			}
-			perms := perm.Sample(n, 6, cfg.Seed+int64(n)*31)
-			maxSC, maxCC := 0, 0
-			minRatio, maxRatio := 1e9, 0.0
-			for _, pi := range perms {
-				p, err := core.Run(f, pi)
-				if err != nil {
-					return nil, fmt.Errorf("E10 %s n=%d: %w", name, n, err)
-				}
-				rep, err := cost.Measure(f, p.Decoded)
-				if err != nil {
-					return nil, err
-				}
-				if rep.SC > maxSC {
-					maxSC = rep.SC
-				}
-				if rep.CCRMR > maxCC {
-					maxCC = rep.CCRMR
-				}
-				ratio := float64(rep.CCRMR) / float64(rep.SC)
-				if ratio < minRatio {
-					minRatio = ratio
-				}
-				if ratio > maxRatio {
-					maxRatio = ratio
-				}
-			}
-			t.Rows = append(t.Rows, []string{
-				name, itoa(n), itoa(len(perms)), itoa(maxSC), itoa(maxCC), f2(minRatio), f2(maxRatio),
-			})
-			// Tracking within a constant both ways: CC is neither vanishing
-			// nor exploding relative to SC.
-			if minRatio < 0.2 || maxRatio > 5 {
-				t.Pass = false
-				t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: CC/SC ratio range [%.2f, %.2f] is not a constant factor", name, n, minRatio, maxRatio))
-			}
+			jobs = append(jobs, job{name, n})
 		}
+	}
+	type rowOut struct {
+		perms        int
+		maxSC, maxCC int
+		minR, maxR   float64
+	}
+	type permOut struct{ sc, cc int }
+	eng := cfg.eng()
+	err := runner.MapOrdered(eng, len(jobs), func(ri int) (rowOut, error) {
+		j := jobs[ri]
+		f, err := algo(j.algo, j.n)
+		if err != nil {
+			return rowOut{}, err
+		}
+		perms := perm.Sample(j.n, 6, cfg.Seed+int64(j.n)*31)
+		o := rowOut{perms: len(perms), minR: 1e9}
+		err = runner.MapOrdered(eng, len(perms), func(pi int) (permOut, error) {
+			p, err := core.Run(f, perms[pi])
+			if err != nil {
+				return permOut{}, fmt.Errorf("E10 %s n=%d: %w", j.algo, j.n, err)
+			}
+			rep, err := cost.Measure(f, p.Decoded)
+			if err != nil {
+				return permOut{}, err
+			}
+			return permOut{sc: rep.SC, cc: rep.CCRMR}, nil
+		}, func(_ int, po permOut) error {
+			if po.sc > o.maxSC {
+				o.maxSC = po.sc
+			}
+			if po.cc > o.maxCC {
+				o.maxCC = po.cc
+			}
+			ratio := float64(po.cc) / float64(po.sc)
+			if ratio < o.minR {
+				o.minR = ratio
+			}
+			if ratio > o.maxR {
+				o.maxR = ratio
+			}
+			return nil
+		})
+		return o, err
+	}, func(ri int, o rowOut) error {
+		j := jobs[ri]
+		t.Rows = append(t.Rows, []string{
+			j.algo, itoa(j.n), itoa(o.perms), itoa(o.maxSC), itoa(o.maxCC), f2(o.minR), f2(o.maxR),
+		})
+		// Tracking within a constant both ways: CC is neither vanishing
+		// nor exploding relative to SC.
+		if o.minR < 0.2 || o.maxR > 5 {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: CC/SC ratio range [%.2f, %.2f] is not a constant factor", j.algo, j.n, o.minR, o.maxR))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "the CC-RMR cost of every constructed execution stays within a constant factor of its SC cost, so max_π CC(α_π) inherits the Ω(n log n) growth")
 	return t, nil
@@ -91,42 +117,60 @@ func E11EncodingAblation(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		ns = append(ns, 32)
 	}
+	type job struct {
+		algo string
+		n    int
+	}
+	var jobs []job
 	for _, name := range []string{"yang-anderson", "bakery"} {
 		for _, n := range ns {
-			f, err := algo(name, n)
-			if err != nil {
-				return nil, err
-			}
-			pi := perm.Sample(n, 1, cfg.Seed+int64(n))[0]
-			p, err := core.Run(f, pi)
-			if err != nil {
-				return nil, fmt.Errorf("E11 %s n=%d: %w", name, n, err)
-			}
-			gamma := p.Encoding.BitLen
-			fixed, chars := 0, 0
-			for _, col := range p.Encoding.Columns {
-				for _, c := range col {
-					fixed += 3
-					chars += 8 * len(c.String())
-					if c.Tag == encode.TagWSig {
-						fixed += 3 * 16
-					}
-					chars += 8 // '#' separator
-				}
-				fixed += 3
-				chars += 8 // '$'
-			}
-			t.Rows = append(t.Rows, []string{
-				name, itoa(n), itoa(gamma), itoa(fixed), itoa(chars),
-				f2(float64(gamma) / float64(p.Cost)),
-				f2(float64(fixed) / float64(p.Cost)),
-				f2(float64(chars) / float64(p.Cost)),
-			})
-			if gamma >= fixed {
-				t.Pass = false
-				t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: γ encoding (%d bits) not smaller than fixed-width (%d)", name, n, gamma, fixed))
-			}
+			jobs = append(jobs, job{name, n})
 		}
+	}
+	type out struct {
+		gamma, fixed, chars, cost int
+	}
+	err := runner.MapOrdered(cfg.eng(), len(jobs), func(ri int) (out, error) {
+		j := jobs[ri]
+		f, err := algo(j.algo, j.n)
+		if err != nil {
+			return out{}, err
+		}
+		pi := perm.Sample(j.n, 1, cfg.Seed+int64(j.n))[0]
+		p, err := core.Run(f, pi)
+		if err != nil {
+			return out{}, fmt.Errorf("E11 %s n=%d: %w", j.algo, j.n, err)
+		}
+		o := out{gamma: p.Encoding.BitLen, cost: p.Cost}
+		for _, col := range p.Encoding.Columns {
+			for _, c := range col {
+				o.fixed += 3
+				o.chars += 8 * len(c.String())
+				if c.Tag == encode.TagWSig {
+					o.fixed += 3 * 16
+				}
+				o.chars += 8 // '#' separator
+			}
+			o.fixed += 3
+			o.chars += 8 // '$'
+		}
+		return o, nil
+	}, func(ri int, o out) error {
+		j := jobs[ri]
+		t.Rows = append(t.Rows, []string{
+			j.algo, itoa(j.n), itoa(o.gamma), itoa(o.fixed), itoa(o.chars),
+			f2(float64(o.gamma) / float64(o.cost)),
+			f2(float64(o.fixed) / float64(o.cost)),
+			f2(float64(o.chars) / float64(o.cost)),
+		})
+		if o.gamma >= o.fixed {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: γ encoding (%d bits) not smaller than fixed-width (%d)", j.algo, j.n, o.gamma, o.fixed))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"all three codecs are O(C) — the lower bound is codec-independent — but γ has the smallest constant",

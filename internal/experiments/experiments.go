@@ -7,6 +7,14 @@
 // Each experiment returns a Table with a Pass verdict. cmd/experiments
 // prints them; the root bench suite wraps them; EXPERIMENTS.md records a
 // reference run.
+//
+// Every experiment is decomposed into a declarative slice of jobs — pure,
+// seed-addressed units (algorithm name, n, scheduler spec, derived seed) —
+// executed on the internal/runner worker pool, with a fold function
+// rebuilding the table in job order. Because the fold order is fixed and
+// every job derives its randomness from its own coordinates (runner.MixSeed)
+// rather than a shared rng stream, the tables are byte-identical at every
+// worker count, including Workers=1 (the sequential path).
 package experiments
 
 import (
@@ -18,10 +26,9 @@ import (
 	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/metastep"
-	"repro/internal/mutex"
 	"repro/internal/perm"
 	"repro/internal/program"
-	"repro/internal/rmw"
+	"repro/internal/runner"
 )
 
 // Config tunes experiment scale.
@@ -30,7 +37,14 @@ type Config struct {
 	Quick bool
 	// Seed drives all sampled permutations and schedules.
 	Seed int64
+	// Workers bounds the worker pool experiments fan out on; 0 selects
+	// GOMAXPROCS, 1 forces the sequential path. Tables are identical at
+	// every setting.
+	Workers int
 }
+
+// eng returns the engine experiments fan out on.
+func (cfg Config) eng() *runner.Engine { return runner.New(cfg.Workers) }
 
 // Table is one experiment's result.
 type Table struct {
@@ -112,14 +126,7 @@ func All() []struct {
 }
 
 func algo(name string, n int) (program.Factory, error) {
-	switch name {
-	case "tas":
-		return rmw.TestAndSet(n)
-	case "mcs":
-		return rmw.MCS(n)
-	default:
-		return mutex.New(name, n)
-	}
+	return runner.NewFactory(name, n)
 }
 
 func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }
@@ -159,36 +166,48 @@ func E1LowerBound(cfg Config) (*Table, error) {
 			job{"yang-anderson", 32, 4, false},
 		)
 	}
-	for _, j := range jobs {
+	eng := cfg.eng()
+	type out struct {
+		kind  string
+		stats core.SweepStats
+	}
+	err := runner.MapOrdered(eng, len(jobs), func(i int) (out, error) {
+		j := jobs[i]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
-		var stats core.SweepStats
-		kind := "sample"
+		o := out{kind: "sample"}
 		if j.exhaustive {
-			kind = "all S_n"
-			stats, err = core.ExhaustiveSweep(f)
+			o.kind = "all S_n"
+			o.stats, err = core.ExhaustiveSweepOn(eng, f)
 		} else {
-			stats, err = core.Sweep(f, perm.Sample(j.n, j.k, cfg.Seed+int64(j.n)))
+			o.stats, err = core.SweepOn(eng, f, perm.Sample(j.n, j.k, cfg.Seed+int64(j.n)))
 		}
 		if err != nil {
-			return nil, fmt.Errorf("E1 %s n=%d: %w", j.algo, j.n, err)
+			return out{}, fmt.Errorf("E1 %s n=%d: %w", j.algo, j.n, err)
 		}
+		return o, nil
+	}, func(i int, o out) error {
+		j := jobs[i]
 		lgFact := perm.Log2Factorial(j.n)
-		ratio := float64(stats.MaxCost) / perm.NLogN(j.n)
+		ratio := float64(o.stats.MaxCost) / perm.NLogN(j.n)
 		t.Rows = append(t.Rows, []string{
-			j.algo, itoa(j.n), itoa(stats.Perms), kind, itoa(stats.MaxCost),
-			f2(ratio), itoa(stats.MaxBits), f1(lgFact),
+			j.algo, itoa(j.n), itoa(o.stats.Perms), o.kind, itoa(o.stats.MaxCost),
+			f2(ratio), itoa(o.stats.MaxBits), f1(lgFact),
 		})
 		if ratio < 0.5 {
 			t.Pass = false
 			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: max cost ratio %.2f below 0.5 — cost not growing like n log n", j.algo, j.n, ratio))
 		}
-		if j.exhaustive && float64(stats.MaxBits) < lgFact {
+		if j.exhaustive && float64(o.stats.MaxBits) < lgFact {
 			t.Pass = false
-			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: max bits %d below log2(n!)=%.1f — impossible for an injective encoding", j.algo, j.n, stats.MaxBits, lgFact))
+			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: max bits %d below log2(n!)=%.1f — impossible for an injective encoding", j.algo, j.n, o.stats.MaxBits, lgFact))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"every row passed the full pipeline verification (Theorems 5.5, 6.2, 7.4; Lemma 6.1)",
@@ -210,39 +229,35 @@ func E2YangAndersonTightness(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		ns = append(ns, 128, 256)
 	}
-	const bound = 12.0
+	var jobs []runner.Job
 	for _, n := range ns {
-		for _, sched := range []string{"round-robin", "random", "progress-first"} {
-			f, err := mutex.YangAnderson(n)
-			if err != nil {
-				return nil, err
-			}
-			var s machine.Scheduler
-			switch sched {
-			case "round-robin":
-				s = machine.NewRoundRobin()
-			case "random":
-				s = machine.NewRandom(cfg.Seed + int64(n))
-			default:
-				s = machine.NewProgressFirst()
-			}
-			exec, err := machine.RunCanonical(f, s, 0)
-			if err != nil {
-				return nil, fmt.Errorf("E2 n=%d %s: %w", n, sched, err)
-			}
-			rep, err := cost.Measure(f, exec)
-			if err != nil {
-				return nil, err
-			}
-			ratio := float64(rep.SC) / perm.NLogN(n)
-			t.Rows = append(t.Rows, []string{
-				itoa(n), sched, itoa(rep.SC), f2(ratio), itoa(rep.SharedAccesses), itoa(rep.CCRMR), itoa(rep.DSMRMR),
-			})
-			if ratio > bound {
-				t.Pass = false
-				t.Notes = append(t.Notes, fmt.Sprintf("n=%d %s: SC/(n lg n)=%.2f exceeds %.0f", n, sched, ratio, bound))
-			}
+		for _, spec := range []machine.Spec{
+			machine.RoundRobinSpec(),
+			machine.RandomSpec(cfg.Seed + int64(n)),
+			machine.ProgressFirstSpec(),
+		} {
+			jobs = append(jobs, runner.Job{Algo: "yang-anderson", N: n, Sched: spec})
 		}
+	}
+	const bound = 12.0
+	err := cfg.eng().Run(jobs, func(r runner.Result) error {
+		if r.Err != nil {
+			return fmt.Errorf("E2 n=%d %s: %w", r.Job.N, r.Job.Sched, r.Err)
+		}
+		n := r.Job.N
+		ratio := float64(r.Report.SC) / perm.NLogN(n)
+		t.Rows = append(t.Rows, []string{
+			itoa(n), r.Job.Sched.String(), itoa(r.Report.SC), f2(ratio),
+			itoa(r.Report.SharedAccesses), itoa(r.Report.CCRMR), itoa(r.Report.DSMRMR),
+		})
+		if ratio > bound {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf("n=%d %s: SC/(n lg n)=%.2f exceeds %.0f", n, r.Job.Sched, ratio, bound))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("tightness: the ratio stays below %.0f at every n — O(n log n), matching the lower bound", 12.0))
 	return t, nil
@@ -258,7 +273,6 @@ func E3EntryOrder(cfg Config) (*Table, error) {
 		Header: []string{"algo", "n", "perms", "linearizations", "violations"},
 		Pass:   true,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	type job struct {
 		algo string
 		n, k int // k random perms (0 = exhaustive)
@@ -267,10 +281,17 @@ func E3EntryOrder(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		jobs = append(jobs, job{"yang-anderson", 4, 0}, job{"bakery", 4, 0}, job{"yang-anderson", 16, 3}, job{"bakery", 12, 3})
 	}
-	for _, j := range jobs {
+	eng := cfg.eng()
+	type count struct{ lins, bad int }
+	type out struct {
+		perms int
+		count
+	}
+	err := runner.MapOrdered(eng, len(jobs), func(ri int) (out, error) {
+		j := jobs[ri]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
-			return nil, err
+			return out{}, err
 		}
 		var perms [][]int
 		if j.k == 0 {
@@ -281,29 +302,44 @@ func E3EntryOrder(cfg Config) (*Table, error) {
 		} else {
 			perms = perm.Sample(j.n, j.k, cfg.Seed+int64(j.n))
 		}
-		lins, bad := 0, 0
-		for _, pi := range perms {
-			p, err := core.Run(f, pi)
+		o := out{perms: len(perms)}
+		err = runner.MapOrdered(eng, len(perms), func(pi int) (count, error) {
+			p, err := core.Run(f, perms[pi])
 			if err != nil {
-				return nil, fmt.Errorf("E3 %s n=%d pi=%v: %w", j.algo, j.n, pi, err)
+				return count{}, fmt.Errorf("E3 %s n=%d pi=%v: %w", j.algo, j.n, perms[pi], err)
 			}
 			// core.Run already verified the decoded linearization; try
-			// extra random linearizations of the same set.
+			// extra random linearizations of the same set, from an rng
+			// addressed by this job's coordinates.
+			rng := rand.New(rand.NewSource(runner.MixSeed(cfg.Seed, 3, int64(ri), int64(pi))))
+			var c count
 			for k := 0; k < 3; k++ {
 				alpha, err := p.Result.Set.Lin(rng)
 				if err != nil {
-					return nil, err
+					return c, err
 				}
-				lins++
-				if !orderMatches(alpha.EntryOrder(), pi) {
-					bad++
+				c.lins++
+				if !orderMatches(alpha.EntryOrder(), perms[pi]) {
+					c.bad++
 				}
 			}
-		}
-		t.Rows = append(t.Rows, []string{j.algo, itoa(j.n), itoa(len(perms)), itoa(lins), itoa(bad)})
-		if bad > 0 {
+			return c, nil
+		}, func(_ int, c count) error {
+			o.lins += c.lins
+			o.bad += c.bad
+			return nil
+		})
+		return o, err
+	}, func(ri int, o out) error {
+		j := jobs[ri]
+		t.Rows = append(t.Rows, []string{j.algo, itoa(j.n), itoa(o.perms), itoa(o.lins), itoa(o.bad)})
+		if o.bad > 0 {
 			t.Pass = false
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -335,24 +371,41 @@ func E4EncodingLength(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		ns = append(ns, 16, 24, 32)
 	}
+	type job struct {
+		algo string
+		n    int
+	}
+	var jobs []job
 	for _, name := range []string{"yang-anderson", "bakery"} {
 		for _, n := range ns {
-			f, err := algo(name, n)
-			if err != nil {
-				return nil, err
-			}
-			stats, err := core.Sweep(f, perm.Sample(n, 6, cfg.Seed+int64(n)))
-			if err != nil {
-				return nil, fmt.Errorf("E4 %s n=%d: %w", name, n, err)
-			}
-			t.Rows = append(t.Rows, []string{
-				name, itoa(n), itoa(stats.Perms), f1(stats.MeanBits()), f1(stats.MeanCost()), f2(stats.MaxBitsPerCost),
-			})
-			if stats.MaxBitsPerCost > bound {
-				t.Pass = false
-				t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: bits/cost=%.2f exceeds %.0f", name, n, stats.MaxBitsPerCost, bound))
-			}
+			jobs = append(jobs, job{name, n})
 		}
+	}
+	eng := cfg.eng()
+	err := runner.MapOrdered(eng, len(jobs), func(i int) (core.SweepStats, error) {
+		j := jobs[i]
+		f, err := algo(j.algo, j.n)
+		if err != nil {
+			return core.SweepStats{}, err
+		}
+		stats, err := core.SweepOn(eng, f, perm.Sample(j.n, 6, cfg.Seed+int64(j.n)))
+		if err != nil {
+			return stats, fmt.Errorf("E4 %s n=%d: %w", j.algo, j.n, err)
+		}
+		return stats, nil
+	}, func(i int, stats core.SweepStats) error {
+		j := jobs[i]
+		t.Rows = append(t.Rows, []string{
+			j.algo, itoa(j.n), itoa(stats.Perms), f1(stats.MeanBits()), f1(stats.MeanCost()), f2(stats.MaxBitsPerCost),
+		})
+		if stats.MaxBitsPerCost > bound {
+			t.Pass = false
+			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: bits/cost=%.2f exceeds %.0f", j.algo, j.n, stats.MaxBitsPerCost, bound))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "the ratio *decreases* with n: the per-metastep signature overhead amortizes, exactly as the Theorem 6.2 accounting predicts")
 	return t, nil
@@ -373,24 +426,41 @@ func E5DecodeInjectivity(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		maxN = 6
 	}
+	type job struct {
+		algo string
+		n    int
+	}
+	var jobs []job
 	for _, name := range []string{"yang-anderson", "peterson", "bakery"} {
 		for n := 2; n <= maxN; n++ {
 			if name != "yang-anderson" && n > 4 && cfg.Quick {
 				continue
 			}
-			f, err := algo(name, n)
-			if err != nil {
-				return nil, err
-			}
-			stats, err := core.ExhaustiveSweep(f)
-			if err != nil {
-				return nil, fmt.Errorf("E5 %s n=%d: %w", name, n, err)
-			}
-			t.Rows = append(t.Rows, []string{name, itoa(n), u64toa(perm.Factorial(n)), itoa(stats.Perms), itoa(stats.Distinct)})
-			if stats.Distinct != stats.Perms {
-				t.Pass = false
-			}
+			jobs = append(jobs, job{name, n})
 		}
+	}
+	eng := cfg.eng()
+	err := runner.MapOrdered(eng, len(jobs), func(i int) (core.SweepStats, error) {
+		j := jobs[i]
+		f, err := algo(j.algo, j.n)
+		if err != nil {
+			return core.SweepStats{}, err
+		}
+		stats, err := core.ExhaustiveSweepOn(eng, f)
+		if err != nil {
+			return stats, fmt.Errorf("E5 %s n=%d: %w", j.algo, j.n, err)
+		}
+		return stats, nil
+	}, func(i int, stats core.SweepStats) error {
+		j := jobs[i]
+		t.Rows = append(t.Rows, []string{j.algo, itoa(j.n), u64toa(perm.Factorial(j.n)), itoa(stats.Perms), itoa(stats.Distinct)})
+		if stats.Distinct != stats.Perms {
+			t.Pass = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -405,46 +475,69 @@ func E6LinearizationCost(cfg Config) (*Table, error) {
 		Header: []string{"algo", "n", "perms", "linearizations/perm", "distinct costs"},
 		Pass:   true,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 6))
 	ns := []int{3, 5}
 	if !cfg.Quick {
 		ns = append(ns, 8, 12)
 	}
+	type job struct {
+		algo string
+		n    int
+	}
+	var jobs []job
 	for _, name := range []string{"yang-anderson", "bakery"} {
 		for _, n := range ns {
-			f, err := algo(name, n)
-			if err != nil {
-				return nil, err
-			}
-			const perPerm = 12
-			worst := 1
-			for trial := 0; trial < 4; trial++ {
-				pi := perm.Random(n, rng)
-				p, err := core.Run(f, pi)
-				if err != nil {
-					return nil, fmt.Errorf("E6 %s n=%d: %w", name, n, err)
-				}
-				costs := map[int]bool{p.Cost: true}
-				for k := 0; k < perPerm; k++ {
-					alpha, err := p.Result.Set.Lin(rng)
-					if err != nil {
-						return nil, err
-					}
-					c, err := cost.SCCost(f, alpha)
-					if err != nil {
-						return nil, err
-					}
-					costs[c] = true
-				}
-				if len(costs) > worst {
-					worst = len(costs)
-				}
-			}
-			t.Rows = append(t.Rows, []string{name, itoa(n), "4", itoa(perPerm), itoa(worst)})
-			if worst != 1 {
-				t.Pass = false
-			}
+			jobs = append(jobs, job{name, n})
 		}
+	}
+	const trials = 4
+	const perPerm = 12
+	eng := cfg.eng()
+	err := runner.MapOrdered(eng, len(jobs), func(ri int) (int, error) {
+		j := jobs[ri]
+		f, err := algo(j.algo, j.n)
+		if err != nil {
+			return 0, err
+		}
+		worst := 1
+		err = runner.MapOrdered(eng, trials, func(trial int) (int, error) {
+			// Each trial draws its permutation and its linearizations from
+			// an rng addressed by (experiment, row, trial).
+			rng := rand.New(rand.NewSource(runner.MixSeed(cfg.Seed, 6, int64(ri), int64(trial))))
+			pi := perm.Random(j.n, rng)
+			p, err := core.Run(f, pi)
+			if err != nil {
+				return 0, fmt.Errorf("E6 %s n=%d: %w", j.algo, j.n, err)
+			}
+			costs := map[int]bool{p.Cost: true}
+			for k := 0; k < perPerm; k++ {
+				alpha, err := p.Result.Set.Lin(rng)
+				if err != nil {
+					return 0, err
+				}
+				c, err := cost.SCCost(f, alpha)
+				if err != nil {
+					return 0, err
+				}
+				costs[c] = true
+			}
+			return len(costs), nil
+		}, func(_ int, distinct int) error {
+			if distinct > worst {
+				worst = distinct
+			}
+			return nil
+		})
+		return worst, err
+	}, func(ri int, worst int) error {
+		j := jobs[ri]
+		t.Rows = append(t.Rows, []string{j.algo, itoa(j.n), itoa(trials), itoa(perPerm), itoa(worst)})
+		if worst != 1 {
+			t.Pass = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -464,41 +557,42 @@ func E7AlgorithmComparison(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		ns = append(ns, 64, 128)
 	}
-	type measured struct{ sc int }
-	results := map[string]map[int]measured{}
+	var jobs []runner.Job
 	for _, name := range []string{"yang-anderson", "peterson", "bakery", "dijkstra", "filter", "tas", "mcs"} {
-		results[name] = map[int]measured{}
 		for _, n := range ns {
 			if (name == "filter" || name == "dijkstra") && n > 32 {
 				continue // Θ(n²)-per-passage algorithms: keep the sweep fast
 			}
-			f, err := algo(name, n)
-			if err != nil {
-				return nil, err
-			}
-			exec, err := machine.RunCanonical(f, machine.NewProgressFirst(), 0)
-			if err != nil {
-				return nil, fmt.Errorf("E7 %s n=%d: %w", name, n, err)
-			}
-			rep, err := cost.Measure(f, exec)
-			if err != nil {
-				return nil, err
-			}
-			results[name][n] = measured{sc: rep.SC}
-			t.Rows = append(t.Rows, []string{
-				name, itoa(n), itoa(rep.SC),
-				f2(float64(rep.SC) / float64(n)),
-				f2(float64(rep.SC) / perm.NLogN(n)),
-				f2(float64(rep.SC) / float64(n*n)),
-				itoa(rep.CCRMR), itoa(rep.DSMRMR),
-			})
+			jobs = append(jobs, runner.Job{Algo: name, N: n, Sched: machine.ProgressFirstSpec()})
 		}
+	}
+	sc := map[string]map[int]int{}
+	err := cfg.eng().Run(jobs, func(r runner.Result) error {
+		if r.Err != nil {
+			return fmt.Errorf("E7 %s n=%d: %w", r.Job.Algo, r.Job.N, r.Err)
+		}
+		name, n := r.Job.Algo, r.Job.N
+		if sc[name] == nil {
+			sc[name] = map[int]int{}
+		}
+		sc[name][n] = r.Report.SC
+		t.Rows = append(t.Rows, []string{
+			name, itoa(n), itoa(r.Report.SC),
+			f2(float64(r.Report.SC) / float64(n)),
+			f2(float64(r.Report.SC) / perm.NLogN(n)),
+			f2(float64(r.Report.SC) / float64(n*n)),
+			itoa(r.Report.CCRMR), itoa(r.Report.DSMRMR),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Shape checks at the largest n: bakery superlinear vs YA; MCS linear.
 	nBig := ns[len(ns)-1]
-	ya := float64(results["yang-anderson"][nBig].sc)
-	bak := float64(results["bakery"][nBig].sc)
-	mcs := float64(results["mcs"][nBig].sc)
+	ya := float64(sc["yang-anderson"][nBig])
+	bak := float64(sc["bakery"][nBig])
+	mcs := float64(sc["mcs"][nBig])
 	if bak < 2*ya {
 		t.Pass = false
 		t.Notes = append(t.Notes, fmt.Sprintf("n=%d: bakery SC=%.0f not clearly above yang-anderson SC=%.0f", nBig, bak, ya))
@@ -523,36 +617,36 @@ func E8BusywaitFree(cfg Config) (*Table, error) {
 		Pass:   true,
 	}
 	const n = 8
-	var scAt0 int
 	delays := []int{0, 8, 64, 512}
 	if !cfg.Quick {
 		delays = append(delays, 4096)
 	}
-	for _, delay := range delays {
-		f, err := mutex.YangAnderson(n)
-		if err != nil {
-			return nil, err
-		}
-		exec, err := machine.RunCanonical(f, machine.NewHoldCS(delay), 40_000_000)
-		if err != nil {
-			return nil, fmt.Errorf("E8 delay=%d: %w", delay, err)
-		}
-		rep, err := cost.Measure(f, exec)
-		if err != nil {
-			return nil, err
+	jobs := make([]runner.Job, len(delays))
+	for i, delay := range delays {
+		jobs[i] = runner.Job{Algo: "yang-anderson", N: n, Sched: machine.HoldCSSpec(delay), Horizon: 40_000_000}
+	}
+	var scAt0 int
+	err := cfg.eng().Run(jobs, func(r runner.Result) error {
+		delay := r.Job.Sched.Delay
+		if r.Err != nil {
+			return fmt.Errorf("E8 delay=%d: %w", delay, r.Err)
 		}
 		if delay == 0 {
-			scAt0 = rep.SC
+			scAt0 = r.Report.SC
 		}
-		t.Rows = append(t.Rows, []string{itoa(delay), itoa(rep.Steps), itoa(rep.SharedAccesses), itoa(rep.SC), itoa(rep.CCRMR)})
-		if rep.SC != scAt0 {
+		t.Rows = append(t.Rows, []string{itoa(delay), itoa(r.Report.Steps), itoa(r.Report.SharedAccesses), itoa(r.Report.SC), itoa(r.Report.CCRMR)})
+		if r.Report.SC != scAt0 {
 			// SC may differ slightly across schedules; the requirement is
 			// boundedness, not exact equality.
-			if float64(rep.SC) > 1.5*float64(scAt0)+8 {
+			if float64(r.Report.SC) > 1.5*float64(scAt0)+8 {
 				t.Pass = false
-				t.Notes = append(t.Notes, fmt.Sprintf("delay=%d: SC=%d grew with the delay (scAt0=%d)", delay, rep.SC, scAt0))
+				t.Notes = append(t.Notes, fmt.Sprintf("delay=%d: SC=%d grew with the delay (scAt0=%d)", delay, r.Report.SC, scAt0))
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "accesses grow ~linearly with the hold delay; SC stays flat: exactly the discount the model is designed to give local spinning")
 	return t, nil
@@ -573,15 +667,24 @@ func E9InformationBound(cfg Config) (*Table, error) {
 	if !cfg.Quick {
 		maxN = 6
 	}
+	ns := make([]int, 0, maxN-1)
 	for n := 2; n <= maxN; n++ {
-		f, err := mutex.YangAnderson(n)
+		ns = append(ns, n)
+	}
+	eng := cfg.eng()
+	err := runner.MapOrdered(eng, len(ns), func(i int) (core.SweepStats, error) {
+		n := ns[i]
+		f, err := algo("yang-anderson", n)
 		if err != nil {
-			return nil, err
+			return core.SweepStats{}, err
 		}
-		stats, err := core.ExhaustiveSweep(f)
+		stats, err := core.ExhaustiveSweepOn(eng, f)
 		if err != nil {
-			return nil, fmt.Errorf("E9 n=%d: %w", n, err)
+			return stats, fmt.Errorf("E9 n=%d: %w", n, err)
 		}
+		return stats, nil
+	}, func(i int, stats core.SweepStats) error {
+		n := ns[i]
 		lg := perm.Log2Factorial(n)
 		t.Rows = append(t.Rows, []string{
 			itoa(n), u64toa(perm.Factorial(n)), f1(lg), f1(perm.NLogN(n)),
@@ -591,6 +694,10 @@ func E9InformationBound(cfg Config) (*Table, error) {
 			t.Pass = false
 			t.Notes = append(t.Notes, fmt.Sprintf("n=%d: maxBits=%d below lg(n!)=%.1f — encoding cannot be injective", n, stats.MaxBits, lg))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes, "the measured encodings sit far above the floor (the constant is generous); the floor is what forces Ω(n log n)")
 	return t, nil

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -42,9 +42,14 @@ func E12GrowthExponents(cfg Config) (*Table, error) {
 	nsBig := []int{4, 8, 16, 32, 64, 128}
 	nsMid := []int{4, 8, 16, 32, 64}
 	nsSmall := []int{4, 8, 16, 32}
+	// On the truncated quick range the log factor inflates Yang–Anderson's
+	// finite-range power fit further (lg n spans 2..5 instead of 2..7), so
+	// the band's ceiling moves with the range.
+	yaHi := 1.45
 	if cfg.Quick {
 		nsBig = nsSmall
 		nsMid = nsSmall
+		yaHi = 1.55
 	}
 	cases := []struct {
 		algo string
@@ -52,31 +57,43 @@ func E12GrowthExponents(cfg Config) (*Table, error) {
 	}{
 		{"mcs", band{0.9, 1.1, nsBig}},
 		{"tas", band{1.6, 2.2, nsBig}},
-		{"yang-anderson", band{1.0, 1.45, nsBig}},
+		{"yang-anderson", band{1.0, yaHi, nsBig}},
 		{"bakery", band{1.8, 2.2, nsMid}},
 		{"dijkstra", band{1.8, 3.0, nsSmall}},
 		{"filter", band{2.5, 3.8, nsSmall}},
 	}
-	for _, c := range cases {
-		var pts []stats.Point
+	// One canonical-execution job per (algorithm, n); the fold collects the
+	// measured SC costs per case in submission order, so the fitted points
+	// are ordered by n exactly as the sequential loops produced them.
+	type coord struct{ ci, n int }
+	var coords []coord
+	var jobs []runner.Job
+	for ci, c := range cases {
 		for _, n := range c.band.ns {
-			f, err := algo(c.algo, n)
-			if err != nil {
-				return nil, err
-			}
-			exec, err := machine.RunCanonical(f, machine.NewProgressFirst(), 0)
-			if err != nil {
-				return nil, fmt.Errorf("E12 %s n=%d: %w", c.algo, n, err)
-			}
-			rep, err := cost.Measure(f, exec)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, stats.Point{N: n, Value: float64(rep.SC)})
+			coords = append(coords, coord{ci, n})
+			jobs = append(jobs, runner.Job{Algo: c.algo, N: n, Sched: machine.ProgressFirstSpec()})
 		}
-		fit, err := stats.FitPower(pts)
+	}
+	pts := make([][]stats.Point, len(cases))
+	err := cfg.eng().Run(jobs, func(r runner.Result) error {
+		if r.Err != nil {
+			return fmt.Errorf("E12 %s n=%d: %w", r.Job.Algo, r.Job.N, r.Err)
+		}
+		c := coords[r.Index]
+		pts[c.ci] = append(pts[c.ci], stats.Point{N: c.n, Value: float64(r.Report.SC)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ya []stats.Point
+	for ci, c := range cases {
+		fit, err := stats.FitPower(pts[ci])
 		if err != nil {
 			return nil, err
+		}
+		if c.algo == "yang-anderson" {
+			ya = pts[ci]
 		}
 		ok := fit.Exponent >= c.band.lo && fit.Exponent <= c.band.hi
 		if !ok {
@@ -91,23 +108,8 @@ func E12GrowthExponents(cfg Config) (*Table, error) {
 			fmt.Sprintf("%v", ok),
 		})
 	}
-	// Yang–Anderson against c·n·lg n directly.
-	var ya []stats.Point
-	for _, n := range nsBig {
-		f, err := algo("yang-anderson", n)
-		if err != nil {
-			return nil, err
-		}
-		exec, err := machine.RunCanonical(f, machine.NewProgressFirst(), 0)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := cost.Measure(f, exec)
-		if err != nil {
-			return nil, err
-		}
-		ya = append(ya, stats.Point{N: n, Value: float64(rep.SC)})
-	}
+	// Yang–Anderson against c·n·lg n directly, reusing the measured points
+	// (the scheduler is deterministic, so re-running would reproduce them).
 	nlogn, err := stats.FitNLogN(ya)
 	if err != nil {
 		return nil, err

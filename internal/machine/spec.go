@@ -1,0 +1,71 @@
+package machine
+
+import "fmt"
+
+// Spec is a value-type scheduler specification: which policy, and the
+// parameters (seed, delay, solo order) that pin its behaviour. It exists so
+// that jobs executed on a worker pool can be described by value and each
+// can construct its own fresh Scheduler.
+//
+// Schedulers are stateful (RoundRobin's cursor, Random's rng, HoldCS's hold
+// counter) and must never be shared across concurrent runs: two systems
+// stepping one seeded Random would each see an unpredictable interleaving
+// of its stream and reproducibility would be lost. A Spec is immutable and
+// freely copyable; New is the only way state comes into existence, so a
+// Spec handed to n jobs yields n independent schedulers that each replay
+// the identical decision sequence.
+type Spec struct {
+	// Kind names the policy: "round-robin", "random", "progress-first",
+	// "solo", or "hold-cs".
+	Kind string
+	// Seed drives the "random" policy.
+	Seed int64
+	// Delay parameterizes the "hold-cs" adversary.
+	Delay int
+	// Order is the "solo" policy's process order.
+	Order []int
+}
+
+// Spec constructors for each policy.
+
+// RoundRobinSpec describes the fair cyclic scheduler.
+func RoundRobinSpec() Spec { return Spec{Kind: "round-robin"} }
+
+// RandomSpec describes the seeded uniform scheduler.
+func RandomSpec(seed int64) Spec { return Spec{Kind: "random", Seed: seed} }
+
+// ProgressFirstSpec describes the state-change-preferring scheduler.
+func ProgressFirstSpec() Spec { return Spec{Kind: "progress-first"} }
+
+// SoloSpec describes the contention-free one-at-a-time scheduler.
+func SoloSpec(order []int) Spec {
+	cp := make([]int, len(order))
+	copy(cp, order)
+	return Spec{Kind: "solo", Order: cp}
+}
+
+// HoldCSSpec describes the critical-section-starving adversary.
+func HoldCSSpec(delay int) Spec { return Spec{Kind: "hold-cs", Delay: delay} }
+
+// New constructs a fresh Scheduler for this spec. Every call returns an
+// independent instance with its own private state.
+func (sp Spec) New() (Scheduler, error) {
+	switch sp.Kind {
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "random":
+		return NewRandom(sp.Seed), nil
+	case "progress-first":
+		return NewProgressFirst(), nil
+	case "solo":
+		return NewSolo(sp.Order), nil
+	case "hold-cs":
+		return NewHoldCS(sp.Delay), nil
+	default:
+		return nil, fmt.Errorf("machine: unknown scheduler spec %q", sp.Kind)
+	}
+}
+
+// String returns the policy name (matching the constructed Scheduler's
+// Name for the stateless policies).
+func (sp Spec) String() string { return sp.Kind }

@@ -1,0 +1,183 @@
+package machine_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mutex"
+)
+
+// TestSpecConstructsNamedSchedulers checks every spec kind builds a
+// scheduler of the matching policy, and unknown kinds error.
+func TestSpecConstructsNamedSchedulers(t *testing.T) {
+	cases := []struct {
+		spec machine.Spec
+		name string
+	}{
+		{machine.RoundRobinSpec(), "round-robin"},
+		{machine.RandomSpec(7), "random"},
+		{machine.ProgressFirstSpec(), "progress-first"},
+		{machine.SoloSpec([]int{1, 0}), "solo"},
+		{machine.HoldCSSpec(8), "hold-cs(8)"},
+	}
+	for _, c := range cases {
+		s, err := c.spec.New()
+		if err != nil {
+			t.Fatalf("%v: %v", c.spec, err)
+		}
+		if s.Name() != c.name {
+			t.Errorf("spec %v built scheduler %q, want %q", c.spec, s.Name(), c.name)
+		}
+	}
+	if _, err := (machine.Spec{Kind: "fifo"}).New(); err == nil {
+		t.Error("unknown spec kind: want error")
+	}
+}
+
+// TestSpecInstancesAreIndependent checks the property the worker pool
+// relies on: one Spec handed to several jobs yields schedulers whose state
+// is private, so each replays the identical decision sequence. A shared
+// seeded Random would interleave its stream between the two systems and
+// diverge.
+func TestSpecInstancesAreIndependent(t *testing.T) {
+	f, err := mutex.YangAnderson(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := machine.RandomSpec(99)
+	s1, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := spec.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave decisions across two independent systems; each scheduler
+	// must behave as if it were alone.
+	sysA, sysB := machine.NewSystem(f), machine.NewSystem(f)
+	for step := 0; step < 200 && (!sysA.AllHalted() || !sysB.AllHalted()); step++ {
+		if !sysA.AllHalted() {
+			if i := s1.Next(sysA); i >= 0 {
+				if _, err := sysA.Step(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !sysB.AllHalted() {
+			if i := s2.Next(sysB); i >= 0 {
+				if _, err := sysB.Step(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	a, b := sysA.Trace(), sysB.Trace()
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("no steps executed")
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Proc != b[i].Proc {
+			t.Fatalf("independent instances diverged at step %d: %d vs %d", i, a[i].Proc, b[i].Proc)
+		}
+	}
+}
+
+// TestRandomEqualSeedsIdenticalSchedules checks the schedule itself (the
+// sequence of chosen process indices), not just the resulting execution:
+// two Random schedulers with equal seeds must make identical choices, and
+// a different seed must diverge somewhere.
+func TestRandomEqualSeedsIdenticalSchedules(t *testing.T) {
+	f, err := mutex.YangAnderson(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := func(seed int64) []int {
+		sched := machine.NewRandom(seed)
+		sys := machine.NewSystem(f)
+		var picks []int
+		for step := 0; step < 5000 && !sys.AllHalted(); step++ {
+			i := sched.Next(sys)
+			if i < 0 {
+				break
+			}
+			picks = append(picks, i)
+			if _, err := sys.Step(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return picks
+	}
+	a, b := schedule(123), schedule(123)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("equal seeds: schedule lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("equal seeds diverged at pick %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := schedule(124)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+// TestRoundRobinFairnessWindow checks the fairness invariant experiment E8
+// leans on: under RoundRobin, every live (non-halted) process is scheduled
+// at least once in any window of n consecutive picks.
+func TestRoundRobinFairnessWindow(t *testing.T) {
+	f, err := mutex.Bakery(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.N()
+	sched := machine.NewRoundRobin()
+	sys := machine.NewSystem(f)
+	var window []int
+	for step := 0; step < 100_000 && !sys.AllHalted(); step++ {
+		// Processes live at the start of the window; only they are owed a
+		// turn within it (a process may halt mid-window).
+		live := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if !sys.Halted(i) {
+				live[i] = true
+			}
+		}
+		window = window[:0]
+		for k := 0; k < n && !sys.AllHalted(); k++ {
+			i := sched.Next(sys)
+			if i < 0 {
+				break
+			}
+			window = append(window, i)
+			if _, err := sys.Step(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scheduled := map[int]bool{}
+		for _, i := range window {
+			scheduled[i] = true
+		}
+		for i := range live {
+			if !scheduled[i] && !sys.Halted(i) {
+				t.Fatalf("process %d live through window %v of %d picks but never scheduled", i, window, n)
+			}
+		}
+	}
+	if !sys.AllHalted() {
+		t.Fatal("bakery under round-robin did not complete")
+	}
+}

@@ -8,6 +8,14 @@
 // behaviour, preemption and spin loops would be timed, not counted). The
 // simulator instead executes one step at a time and records exactly the
 // quantities the models charge for.
+//
+// Concurrency contract for callers that run many simulations in parallel
+// (internal/runner): a System, a Replayer, and every Scheduler are
+// single-run state and must be private to one job — construct them fresh
+// per run (NewSystem, NewReplayer, Spec.New). A program.Factory, by
+// contrast, is immutable once built (programs and register layouts are
+// shared read-only; NewAutomata and NewRegisters copy what they need), so
+// one factory instance may safely serve any number of concurrent runs.
 package machine
 
 import (
