@@ -1,5 +1,5 @@
 // Command experiments regenerates every experiment table in EXPERIMENTS.md
-// (E1–E12): the machine-checked reproductions of the paper's theorems,
+// (E1–E13): the machine-checked reproductions of the paper's theorems,
 // lemmas, and positioning claims.
 //
 // Usage:
@@ -14,8 +14,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -42,15 +44,22 @@ type jsonTable struct {
 	Seconds float64    `json:"seconds"`
 }
 
-func run() error {
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr) // diagnostics and usage must not corrupt the data stream on w
 	var (
-		quick    = flag.Bool("quick", false, "reduced sweep sizes")
-		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E5); empty runs all")
-		seed     = flag.Int64("seed", 20060723, "seed for sampled permutations and schedules")
-		parallel = flag.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
-		asJSON   = flag.Bool("json", false, "emit each table as a JSON object instead of aligned text")
+		quick    = fs.Bool("quick", false, "reduced sweep sizes")
+		only     = fs.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E5); empty runs all")
+		seed     = fs.Int64("seed", 20060723, "seed for sampled permutations and schedules")
+		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
+		asJSON   = fs.Bool("json", false, "emit each table as a JSON object instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -69,7 +78,7 @@ func run() error {
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	failures := 0
 	for _, e := range experiments.All() {
 		if len(selected) > 0 && !selected[e.ID] {
@@ -90,8 +99,8 @@ func run() error {
 				return err
 			}
 		} else {
-			fmt.Print(tbl.Format())
-			fmt.Printf("   (%.2fs)\n\n", elapsed)
+			fmt.Fprint(w, tbl.Format())
+			fmt.Fprintf(w, "   (%.2fs)\n\n", elapsed)
 		}
 		if !tbl.Pass {
 			failures++

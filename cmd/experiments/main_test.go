@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSmokeJSON exercises the run() path end to end on one cheap
+// experiment and checks the -json wire form parses with a PASS verdict.
+func TestRunSmokeJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 table, got %d lines", len(lines))
+	}
+	var tbl jsonTable
+	if err := json.Unmarshal([]byte(lines[0]), &tbl); err != nil {
+		t.Fatalf("unparseable table %q: %v", lines[0], err)
+	}
+	if tbl.ID != "E2" || !tbl.Pass || len(tbl.Rows) == 0 {
+		t.Fatalf("bad table: %+v", tbl)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E99"}, &buf); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

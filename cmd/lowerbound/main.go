@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -24,22 +26,29 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lowerbound:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr) // diagnostics and usage must not corrupt the data stream on w
 	var (
-		algoName = flag.String("algo", repro.AlgoYangAnderson, "algorithm (one of: "+strings.Join(repro.Algorithms(), ", ")+")")
-		n        = flag.Int("n", 4, "number of processes")
-		permSpec = flag.String("perm", "", "comma-separated permutation of 0..n-1 (default: seeded random)")
-		seed     = flag.Int64("seed", 1, "seed for the random permutation")
-		all      = flag.Bool("all", false, "sweep all n! permutations and check injectivity")
-		verbose  = flag.Bool("v", false, "print the encoding table and the decoded execution")
+		algoName = fs.String("algo", repro.AlgoYangAnderson, "algorithm (one of: "+strings.Join(repro.Algorithms(), ", ")+")")
+		n        = fs.Int("n", 4, "number of processes")
+		permSpec = fs.String("perm", "", "comma-separated permutation of 0..n-1 (default: seeded random)")
+		seed     = fs.Int64("seed", 1, "seed for the random permutation")
+		all      = fs.Bool("all", false, "sweep all n! permutations and check injectivity")
+		verbose  = fs.Bool("v", false, "print the encoding table and the decoded execution")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	f, err := repro.NewAlgorithm(*algoName, *n)
 	if err != nil {
@@ -51,13 +60,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("algorithm      %s\n", f.Name())
-		fmt.Printf("permutations   %d (all of S_%d)\n", stats.Perms, *n)
-		fmt.Printf("distinct execs %d (injectivity %v)\n", stats.Distinct, stats.Distinct == stats.Perms)
-		fmt.Printf("cost           min=%d mean=%.1f max=%d\n", stats.MinCost, stats.MeanCost(), stats.MaxCost)
-		fmt.Printf("encoding bits  mean=%.1f max=%d\n", stats.MeanBits(), stats.MaxBits)
-		fmt.Printf("lower bound    log2(n!)=%.1f bits  n*lg(n)=%.1f\n", repro.InformationBound(*n), repro.NLogN(*n))
-		fmt.Printf("max bits/cost  %.2f (Theorem 6.2 constant)\n", stats.MaxBitsPerCost)
+		fmt.Fprintf(w, "algorithm      %s\n", f.Name())
+		fmt.Fprintf(w, "permutations   %d (all of S_%d)\n", stats.Perms, *n)
+		fmt.Fprintf(w, "distinct execs %d (injectivity %v)\n", stats.Distinct, stats.Distinct == stats.Perms)
+		fmt.Fprintf(w, "cost           min=%d mean=%.1f max=%d\n", stats.MinCost, stats.MeanCost(), stats.MaxCost)
+		fmt.Fprintf(w, "encoding bits  mean=%.1f max=%d\n", stats.MeanBits(), stats.MaxBits)
+		fmt.Fprintf(w, "lower bound    log2(n!)=%.1f bits  n*lg(n)=%.1f\n", repro.InformationBound(*n), repro.NLogN(*n))
+		fmt.Fprintf(w, "max bits/cost  %.2f (Theorem 6.2 constant)\n", stats.MaxBitsPerCost)
 		return nil
 	}
 
@@ -69,17 +78,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("algorithm   %s\n", f.Name())
-	fmt.Printf("perm        %v\n", proof.Perm)
-	fmt.Printf("metasteps   %d (%d steps, %d construct iterations)\n",
+	fmt.Fprintf(w, "algorithm   %s\n", f.Name())
+	fmt.Fprintf(w, "perm        %v\n", proof.Perm)
+	fmt.Fprintf(w, "metasteps   %d (%d steps, %d construct iterations)\n",
 		proof.Result.Set.Len(), proof.Result.Set.TotalSteps(), proof.Result.Iterations)
-	fmt.Printf("cost C      %d (SC model; every linearization, Lemma 6.1)\n", proof.Cost)
-	fmt.Printf("|E_pi|      %d bits (%.2f bits/cost, Theorem 6.2)\n", proof.Encoding.BitLen, proof.BitsPerCost())
-	fmt.Printf("entry order %v (= perm, Theorem 5.5)\n", proof.Decoded.EntryOrder())
-	fmt.Printf("verified    decode round-trip is a linearization (Theorem 7.4)\n")
+	fmt.Fprintf(w, "cost C      %d (SC model; every linearization, Lemma 6.1)\n", proof.Cost)
+	fmt.Fprintf(w, "|E_pi|      %d bits (%.2f bits/cost, Theorem 6.2)\n", proof.Encoding.BitLen, proof.BitsPerCost())
+	fmt.Fprintf(w, "entry order %v (= perm, Theorem 5.5)\n", proof.Decoded.EntryOrder())
+	fmt.Fprintf(w, "verified    decode round-trip is a linearization (Theorem 7.4)\n")
 	if *verbose {
-		fmt.Printf("\nencoding table:\n%s\n", proof.Encoding)
-		fmt.Printf("\ndecoded execution (%d steps):\n%s\n", len(proof.Decoded), proof.Decoded)
+		fmt.Fprintf(w, "\nencoding table:\n%s\n", proof.Encoding)
+		fmt.Fprintf(w, "\ndecoded execution (%d steps):\n%s\n", len(proof.Decoded), proof.Decoded)
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmokeSingle exercises the single-permutation proof pipeline path.
+func TestRunSmokeSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "yang-anderson", "-n", "4", "-perm", "2,0,3,1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"perm        [2 0 3 1]", "entry order [2 0 3 1]", "Theorem 7.4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSmokeAll exercises the exhaustive-sweep path at a tiny n.
+func TestRunSmokeAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "yang-anderson", "-n", "3", "-all"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"permutations   6 (all of S_3)", "injectivity true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadPerm(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "4", "-perm", "0,1"}, &buf); err == nil {
+		t.Fatal("wrong-length permutation accepted")
+	}
+	if err := run([]string{"-n", "2", "-perm", "a,b"}, &buf); err == nil {
+		t.Fatal("non-numeric permutation accepted")
+	}
+}

@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,23 +23,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mutexsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mutexsim", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr) // diagnostics and usage must not corrupt the data stream on w
 	var (
-		algoName  = flag.String("algo", repro.AlgoYangAnderson, "algorithm (one of: "+strings.Join(repro.Algorithms(), ", ")+")")
-		n         = flag.Int("n", 8, "number of processes")
-		schedName = flag.String("sched", "round-robin", "scheduler: round-robin, random, solo, progress-first, hold-cs")
-		seed      = flag.Int64("seed", 1, "seed for the random scheduler")
-		rawTrace  = flag.Bool("trace", false, "print the raw step sequence")
-		timeline  = flag.Bool("timeline", false, "print the per-process timeline (glyphs: T/E/X/Q crit, w write, r charged read, · free read)")
-		summary   = flag.Bool("summary", false, "print per-process cost summary")
+		algoName  = fs.String("algo", repro.AlgoYangAnderson, "algorithm (one of: "+strings.Join(repro.Algorithms(), ", ")+")")
+		n         = fs.Int("n", 8, "number of processes")
+		schedName = fs.String("sched", "round-robin", "scheduler: round-robin, random, solo, progress-first, hold-cs, greedy-cost")
+		seed      = fs.Int64("seed", 1, "seed for the random scheduler")
+		rawTrace  = fs.Bool("trace", false, "print the raw step sequence")
+		timeline  = fs.Bool("timeline", false, "print the per-process timeline (glyphs: T/E/X/Q crit, w write, r charged read, · free read)")
+		summary   = fs.Bool("summary", false, "print per-process cost summary")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	f, err := repro.NewAlgorithm(*algoName, *n)
 	if err != nil {
@@ -55,33 +64,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("algorithm  %s\n", f.Name())
-	fmt.Printf("scheduler  %s\n", sched.Name())
-	fmt.Printf("cost       %s\n", rep)
-	fmt.Printf("           SC/(n·lg n) = %.2f   SC/n² = %.2f\n",
+	fmt.Fprintf(w, "algorithm  %s\n", f.Name())
+	fmt.Fprintf(w, "scheduler  %s\n", sched.Name())
+	fmt.Fprintf(w, "cost       %s\n", rep)
+	fmt.Fprintf(w, "           SC/(n·lg n) = %.2f   SC/n² = %.2f\n",
 		float64(rep.SC)/repro.NLogN(*n), float64(rep.SC)/float64(*n**n))
-	fmt.Printf("entries    %v\n", exec.EntryOrder())
+	fmt.Fprintf(w, "entries    %v\n", exec.EntryOrder())
 	if err := repro.VerifyMutex(f, exec); err != nil {
-		fmt.Printf("verify     FAIL: %v\n", err)
+		fmt.Fprintf(w, "verify     FAIL: %v\n", err)
 	} else {
-		fmt.Printf("verify     ok (replayable, well-formed, mutual exclusion, canonical)\n")
+		fmt.Fprintf(w, "verify     ok (replayable, well-formed, mutual exclusion, canonical)\n")
 	}
 	if *rawTrace {
-		fmt.Printf("\ntrace (%d steps):\n%s\n", len(exec), exec)
+		fmt.Fprintf(w, "\ntrace (%d steps):\n%s\n", len(exec), exec)
 	}
 	if *timeline {
 		out, err := trace.Timeline(f, exec, trace.Options{ShowFree: true})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n%s", out)
+		fmt.Fprintf(w, "\n%s", out)
 	}
 	if *summary {
 		out, err := trace.Summary(f, exec)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n%s", out)
+		fmt.Fprintf(w, "\n%s", out)
 	}
 	return nil
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives a tiny canonical run for every scheduler the flag
+// accepts, including the new greedy-cost adversary, and checks the verdict
+// line.
+func TestRunSmoke(t *testing.T) {
+	for _, sched := range []string{"round-robin", "random", "solo", "progress-first", "hold-cs", "greedy-cost"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-algo", "yang-anderson", "-n", "3", "-sched", sched}, &buf); err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "verify     ok") {
+			t.Fatalf("%s: verification did not pass:\n%s", sched, out)
+		}
+		if !strings.Contains(out, "scheduler  ") || !strings.Contains(out, "SC=") {
+			t.Fatalf("%s: missing report lines:\n%s", sched, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "no-such-algo"}, &buf); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-sched", "no-such-sched"}, &buf); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

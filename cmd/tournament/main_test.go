@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunQuickSmoke drives the full run() path on a tiny grid and checks
+// every streamed line parses as a row with sane fields.
+func TestRunQuickSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-algos", "yang-anderson", "-ns", "4", "-ndjson"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var policies, searches, summaries int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var r row
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("unparseable row %q: %v", line, err)
+		}
+		if r.Algo != "yang-anderson" || r.N != 4 {
+			t.Fatalf("row for wrong cell: %+v", r)
+		}
+		switch r.Type {
+		case "policy":
+			policies++
+		case "search":
+			searches++
+			if r.SC <= 0 || !r.Canonical {
+				t.Fatalf("bad search row: %+v", r)
+			}
+		case "summary":
+			summaries++
+		default:
+			t.Fatalf("unknown row type %q", r.Type)
+		}
+	}
+	if policies == 0 || searches != 1 || summaries != 1 {
+		t.Fatalf("row counts: %d policies, %d searches, %d summaries", policies, searches, summaries)
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the tentpole acceptance criterion:
+// the whole tournament output — streamed rows and summary table — is
+// byte-identical at workers 1 (sequential), 4, and 8.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, w := range []int{1, 4, 8} {
+		var buf bytes.Buffer
+		args := []string{"-quick", "-algos", "yang-anderson,bakery", "-ns", "4,6", "-parallel", fmt.Sprint(w)}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Errorf("tournament output differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s\n--- workers=8\n%s",
+			outputs[0], outputs[1], outputs[2])
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ns", "one"}, &buf); err == nil {
+		t.Fatal("bad -ns accepted")
+	}
+	if err := run([]string{"-algos", ""}, &buf); err == nil {
+		t.Fatal("empty -algos accepted")
+	}
+	if err := run([]string{"-algos", "no-such-algo", "-ns", "4", "-quick"}, &buf); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -122,6 +122,7 @@ func All() []struct {
 		{"E10", E10CCExtension},
 		{"E11", E11EncodingAblation},
 		{"E12", E12GrowthExponents},
+		{"E13", E13FoundWorst},
 	}
 }
 

@@ -238,6 +238,8 @@ func TestSchedulerNames(t *testing.T) {
 		{machine.NewSolo(perm.Identity(2)), "solo"},
 		{machine.NewProgressFirst(), "progress-first"},
 		{machine.NewHoldCS(5), "hold-cs(5)"},
+		{machine.NewGreedyCost(), "greedy-cost"},
+		{machine.NewPrefixGreedy([]int{0, 1, 0}), "prefix-greedy(3)"},
 	} {
 		if got := c.s.Name(); got != c.want {
 			t.Errorf("Name() = %q, want %q", got, c.want)

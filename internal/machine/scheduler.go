@@ -48,7 +48,8 @@ func (r *RoundRobin) Next(s *System) int {
 // so runs are reproducible. Random scheduling is fair with probability 1;
 // the driver's step horizon bounds the experiment regardless.
 type Random struct {
-	rng *rand.Rand
+	rng     *rand.Rand
+	scratch []int // reusable live-process buffer; Next is on every sweep's hot path
 }
 
 // NewRandom returns a seeded random scheduler.
@@ -61,7 +62,10 @@ func (r *Random) Name() string { return "random" }
 
 // Next implements Scheduler.
 func (r *Random) Next(s *System) int {
-	live := make([]int, 0, s.N())
+	if cap(r.scratch) < s.N() {
+		r.scratch = make([]int, 0, s.N())
+	}
+	live := r.scratch[:0]
 	for i := 0; i < s.N(); i++ {
 		if !s.Halted(i) {
 			live = append(live, i)
@@ -206,9 +210,27 @@ func (e ErrHorizon) Error() string {
 	return fmt.Sprintf("machine: step horizon %d exhausted before all processes halted", e.Steps)
 }
 
-// Run drives the system under the scheduler until every process halts, the
-// scheduler returns -1, or maxSteps steps have executed. It returns the
-// trace. A horizon exhaustion returns the partial trace and ErrHorizon.
+// ErrStalled is returned by Run when the scheduler returns -1 while
+// un-halted processes remain. Run only consults the scheduler when at least
+// one process is live, so a stall is always a scheduler defect (or a
+// deliberately truncating adversary) — never normal termination. The
+// distinguishable error keeps schedule search honest: a truncated execution
+// must be discarded, not scored as a cheap one.
+type ErrStalled struct {
+	Steps int // steps executed before the stall
+	Live  int // un-halted processes at the stall
+}
+
+// Error implements error.
+func (e ErrStalled) Error() string {
+	return fmt.Sprintf("machine: scheduler stalled after %d steps with %d un-halted processes", e.Steps, e.Live)
+}
+
+// Run drives the system under the scheduler until every process halts or
+// maxSteps steps have executed. It returns the trace. A horizon exhaustion
+// returns the partial trace and ErrHorizon; a scheduler that returns -1
+// while un-halted processes remain returns the partial trace and
+// ErrStalled.
 func Run(s *System, sched Scheduler, maxSteps int) (model.Execution, error) {
 	for t := 0; t < maxSteps; t++ {
 		if s.AllHalted() {
@@ -216,7 +238,13 @@ func Run(s *System, sched Scheduler, maxSteps int) (model.Execution, error) {
 		}
 		i := sched.Next(s)
 		if i < 0 {
-			return s.Trace(), nil
+			live := 0
+			for p := 0; p < s.N(); p++ {
+				if !s.Halted(p) {
+					live++
+				}
+			}
+			return s.Trace(), ErrStalled{Steps: t, Live: live}
 		}
 		if _, err := s.Step(i); err != nil {
 			return s.Trace(), fmt.Errorf("machine: scheduling process %d: %w", i, err)

@@ -16,7 +16,7 @@ import "fmt"
 // the identical decision sequence.
 type Spec struct {
 	// Kind names the policy: "round-robin", "random", "progress-first",
-	// "solo", or "hold-cs".
+	// "solo", "hold-cs", "greedy-cost", or "prefix-greedy".
 	Kind string
 	// Seed drives the "random" policy.
 	Seed int64
@@ -24,6 +24,9 @@ type Spec struct {
 	Delay int
 	// Order is the "solo" policy's process order.
 	Order []int
+	// Prefix is the "prefix-greedy" policy's decision prefix — the value
+	// the adversary search mutates.
+	Prefix []int
 }
 
 // Spec constructors for each policy.
@@ -47,6 +50,17 @@ func SoloSpec(order []int) Spec {
 // HoldCSSpec describes the critical-section-starving adversary.
 func HoldCSSpec(delay int) Spec { return Spec{Kind: "hold-cs", Delay: delay} }
 
+// GreedyCostSpec describes the cost-maximizing lookahead adversary.
+func GreedyCostSpec() Spec { return Spec{Kind: "greedy-cost"} }
+
+// PrefixGreedySpec describes a schedule-search candidate: an explicit
+// decision prefix followed by a greedy cost-maximizing completion.
+func PrefixGreedySpec(prefix []int) Spec {
+	cp := make([]int, len(prefix))
+	copy(cp, prefix)
+	return Spec{Kind: "prefix-greedy", Prefix: cp}
+}
+
 // New constructs a fresh Scheduler for this spec. Every call returns an
 // independent instance with its own private state.
 func (sp Spec) New() (Scheduler, error) {
@@ -61,6 +75,10 @@ func (sp Spec) New() (Scheduler, error) {
 		return NewSolo(sp.Order), nil
 	case "hold-cs":
 		return NewHoldCS(sp.Delay), nil
+	case "greedy-cost":
+		return NewGreedyCost(), nil
+	case "prefix-greedy":
+		return NewPrefixGreedy(sp.Prefix), nil
 	default:
 		return nil, fmt.Errorf("machine: unknown scheduler spec %q", sp.Kind)
 	}

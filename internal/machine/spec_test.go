@@ -19,6 +19,8 @@ func TestSpecConstructsNamedSchedulers(t *testing.T) {
 		{machine.ProgressFirstSpec(), "progress-first"},
 		{machine.SoloSpec([]int{1, 0}), "solo"},
 		{machine.HoldCSSpec(8), "hold-cs(8)"},
+		{machine.GreedyCostSpec(), "greedy-cost"},
+		{machine.PrefixGreedySpec([]int{0, 1}), "prefix-greedy(2)"},
 	}
 	for _, c := range cases {
 		s, err := c.spec.New()

@@ -209,6 +209,30 @@ func (s *System) applyCrit(i int, c model.CritKind) error {
 	return nil
 }
 
+// Clone returns an independent copy of the system in its current state.
+// Automata, registers, sections and counters are deep-copied; the recorded
+// trace and changed flags are shared copy-on-write (full slice expressions
+// clip their capacity, so the first Step on either system reallocates
+// rather than overwriting the other's history). Cloning therefore costs
+// O(n + registers), not O(trace) — cheap enough for schedulers that do
+// per-decision lookahead (GreedyCost).
+func (s *System) Clone() *System {
+	automata := make([]*program.Automaton, len(s.automata))
+	for i, a := range s.automata {
+		automata[i] = a.Clone()
+	}
+	return &System{
+		factory:   s.factory,
+		automata:  automata,
+		regs:      s.regs.Clone(),
+		trace:     s.trace[:len(s.trace):len(s.trace)],
+		changed:   s.changed[:len(s.changed):len(s.changed)],
+		section:   append([]Section(nil), s.section...),
+		csEntries: append([]int(nil), s.csEntries...),
+		csDone:    append([]int(nil), s.csDone...),
+	}
+}
+
 // InCriticalSection returns the process currently in its critical section,
 // or -1 if none. Mutual exclusion violations are reported by
 // internal/verify; the system itself permits them so that buggy algorithms

@@ -46,6 +46,28 @@ func FitPower(points []Point) (PowerFit, error) {
 	return PowerFit{Exponent: slope, Scale: math.Exp(intercept), R2: r2}, nil
 }
 
+// FitPowerLog fits value ≈ a · n^k · lg₂(n): the log-corrected power law.
+// For a quantity that truly grows as Θ(n log n) the corrected exponent k
+// stays ≈ 1 on any n range, whereas a pure power fit absorbs the log factor
+// into an inflated, range-dependent exponent (lg n spans 2..5 on a
+// truncated quick range vs 2..7 at full scale). Points need n ≥ 2 so the
+// log correction is positive.
+func FitPowerLog(points []Point) (PowerFit, error) {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.N < 2 || p.Value <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(p.N)))
+		ys = append(ys, math.Log(p.Value)-math.Log(math.Log2(float64(p.N))))
+	}
+	if len(xs) < 2 {
+		return PowerFit{}, fmt.Errorf("stats: need at least 2 positive points with n ≥ 2, have %d", len(xs))
+	}
+	slope, intercept, r2 := leastSquares(xs, ys)
+	return PowerFit{Exponent: slope, Scale: math.Exp(intercept), R2: r2}, nil
+}
+
 // NLogNFit is the result of fitting value ≈ c · n·log₂(n).
 type NLogNFit struct {
 	C float64 // the constant

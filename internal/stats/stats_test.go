@@ -73,6 +73,48 @@ func TestFitPowerErrors(t *testing.T) {
 	}
 }
 
+func TestFitPowerLogRecoversNLogN(t *testing.T) {
+	// Exact 3·n·lg n data: the log-corrected exponent must be 1 on both a
+	// truncated "quick" range and a wide range — the property E12 uses to
+	// keep one tight band across scales.
+	for _, ns := range [][]int{{4, 8, 16, 32}, {4, 8, 16, 32, 64, 128}} {
+		var pts []stats.Point
+		for _, n := range ns {
+			pts = append(pts, stats.Point{N: n, Value: 3 * float64(n) * math.Log2(float64(n))})
+		}
+		fit, err := stats.FitPowerLog(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Exponent-1) > 1e-9 || math.Abs(fit.Scale-3) > 1e-6 {
+			t.Fatalf("range %v: fit = %v, want 3·n^1·lg n", ns, fit)
+		}
+	}
+	// Contrast: a pure power fit of the same quick-range data inflates the
+	// exponent well above 1 — the regression E12's old widened band masked.
+	var pts []stats.Point
+	for _, n := range []int{4, 8, 16, 32} {
+		pts = append(pts, stats.Point{N: n, Value: 3 * float64(n) * math.Log2(float64(n))})
+	}
+	pure, err := stats.FitPower(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.Exponent < 1.2 {
+		t.Fatalf("pure power exponent %.2f on n·lg n data should be inflated above 1.2", pure.Exponent)
+	}
+}
+
+func TestFitPowerLogErrors(t *testing.T) {
+	if _, err := stats.FitPowerLog(nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	// n=1 points carry no log signal (lg 1 = 0) and must be excluded.
+	if _, err := stats.FitPowerLog([]stats.Point{{N: 1, Value: 3}, {N: 2, Value: 4}}); err == nil {
+		t.Fatal("fit with a single usable point accepted")
+	}
+}
+
 func TestFitNLogNExact(t *testing.T) {
 	var pts []stats.Point
 	for _, n := range []int{2, 4, 8, 16, 64} {

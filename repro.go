@@ -129,9 +129,17 @@ func NewProgressFirst() Scheduler { return machine.NewProgressFirst() }
 // occupant for delay scheduling decisions (experiment E8).
 func NewHoldCS(delay int) Scheduler { return machine.NewHoldCS(delay) }
 
+// NewGreedyCost returns the cost-maximizing adversary: a one-step lookahead
+// on a cloned system picks the process whose step maximizes incremental SC
+// cost, with a starvation bound so canonical runs always complete. It is
+// the strongest fixed policy and the completion tail of the schedule search
+// behind experiment E13 and cmd/tournament.
+func NewGreedyCost() Scheduler { return machine.NewGreedyCost() }
+
 // NewSchedulerByName builds a scheduler from its name: "round-robin",
-// "random", "solo", "progress-first" or "hold-cs". seed parameterizes
-// "random"; n parameterizes "solo" (identity order) and "hold-cs" (delay).
+// "random", "solo", "progress-first", "hold-cs" or "greedy-cost". seed
+// parameterizes "random"; n parameterizes "solo" (identity order) and
+// "hold-cs" (delay).
 func NewSchedulerByName(name string, n int, seed int64) (Scheduler, error) {
 	switch name {
 	case "round-robin":
@@ -144,6 +152,8 @@ func NewSchedulerByName(name string, n int, seed int64) (Scheduler, error) {
 		return NewProgressFirst(), nil
 	case "hold-cs":
 		return NewHoldCS(n), nil
+	case "greedy-cost":
+		return NewGreedyCost(), nil
 	default:
 		return nil, fmt.Errorf("repro: unknown scheduler %q", name)
 	}
