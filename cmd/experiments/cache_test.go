@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// The acceptance matrix for the result store at the binary level: the
+// -json stream must be byte-identical across cold runs at every worker
+// count, warm-cache replays at every worker count, and
+// sharded-then-merged replays at shard counts 1 and 3. A small but
+// representative selection keeps the matrix affordable: E2 exercises the
+// cached job layer, E4 the cached sweep layer, E12 the post-fold fitting
+// that must be skipped by prime passes, E13 the cached schedule-search
+// layer.
+const cacheTestOnly = "E2,E4,E12,E13"
+
+func runArgs(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(append([]string{"-quick", "-only", cacheTestOnly, "-json"}, args...), &buf); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.Bytes()
+}
+
+func TestJSONByteIdenticalColdWarmShardedMerged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full determinism matrix skipped in -short mode")
+	}
+	cold := runArgs(t, "-parallel", "1")
+	for _, w := range []int{4, 8} {
+		if got := runArgs(t, "-parallel", fmt.Sprint(w)); !bytes.Equal(got, cold) {
+			t.Fatalf("cold run at -parallel %d differs from sequential:\n%s\nvs\n%s", w, got, cold)
+		}
+	}
+
+	// Warm cache: populate once, then replay at several worker counts.
+	warmDir := t.TempDir()
+	runArgs(t, "-cache", warmDir, "-parallel", "4")
+	for _, w := range []int{1, 4, 8} {
+		if got := runArgs(t, "-cache", warmDir, "-parallel", fmt.Sprint(w)); !bytes.Equal(got, cold) {
+			t.Fatalf("warm replay at -parallel %d differs from cold run:\n%s\nvs\n%s", w, got, cold)
+		}
+	}
+
+	// Sharded then merged: m prime passes into disjoint stores (no stdout),
+	// one merge replay producing the canonical stream.
+	for _, m := range []int{1, 3} {
+		dirs := make([]string, m)
+		for i := range dirs {
+			dirs[i] = t.TempDir()
+			var buf bytes.Buffer
+			err := run([]string{
+				"-quick", "-only", cacheTestOnly, "-json",
+				"-cache", dirs[i], "-shard", fmt.Sprintf("%d/%d", i+1, m), "-parallel", "4",
+			}, &buf)
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", i+1, m, err)
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("shard %d/%d wrote %d bytes to the data stream, want none:\n%s", i+1, m, buf.Len(), buf.String())
+			}
+		}
+		mergeDir := t.TempDir()
+		merged := runArgs(t, "-cache", mergeDir, "-merge", joinCSV(dirs), "-parallel", "8")
+		if !bytes.Equal(merged, cold) {
+			t.Fatalf("sharded(%d)-then-merged output differs from cold run:\n%s\nvs\n%s", m, merged, cold)
+		}
+	}
+}
+
+func joinCSV(dirs []string) string {
+	out := ""
+	for i, d := range dirs {
+		if i > 0 {
+			out += ","
+		}
+		out += filepath.Clean(d)
+	}
+	return out
+}
+
+// TestOnlyFailsLoudly pins the -only contract: unknown and duplicate
+// experiment IDs are refused with a non-zero error instead of silently
+// measuring something else.
+func TestOnlyFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E1,E99"}, &buf); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	if err := run([]string{"-only", "e2"}, &buf); err == nil {
+		t.Fatal("miscased experiment id accepted")
+	}
+	if err := run([]string{"-only", "E1,E2,E1"}, &buf); err == nil {
+		t.Fatal("duplicate experiment id accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("error paths wrote to the data stream: %q", buf.String())
+	}
+}
+
+// TestShardAndMergeFlagValidation pins the flag plumbing error paths.
+func TestShardAndMergeFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-shard", "1/3"}, &buf); err == nil {
+		t.Fatal("-shard without -cache accepted")
+	}
+	if err := run([]string{"-merge", "x"}, &buf); err == nil {
+		t.Fatal("-merge without -cache accepted")
+	}
+	if err := run([]string{"-cache", t.TempDir(), "-shard", "4/3"}, &buf); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := run([]string{"-cache", t.TempDir(), "-shard", "0/0"}, &buf); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+	for _, bad := range []string{"1/2/3", "1/2x", "x1/2", "1-2", "1"} {
+		if err := run([]string{"-cache", t.TempDir(), "-shard", bad}, &buf); err == nil {
+			t.Fatalf("malformed -shard %q accepted", bad)
+		}
+	}
+	if err := run([]string{"-cache", t.TempDir(), "-shard", "1/2", "-merge", "x"}, &buf); err == nil {
+		t.Fatal("-shard combined with -merge accepted")
+	}
+}

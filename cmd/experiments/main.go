@@ -10,6 +10,23 @@
 //	experiments -only E1,E5,E9  # a selection
 //	experiments -parallel 1     # force the sequential path (same bytes)
 //	experiments -json           # machine-readable output, one object per table
+//
+// Caching and sharding (see README "The result store"):
+//
+//	experiments -cache DIR               # memoize every simulation unit; a
+//	                                     # warm re-run simulates nothing and
+//	                                     # prints byte-identical tables
+//	experiments -cache D1 -shard 1/3     # prime pass: execute only shard 1's
+//	                                     # missing keys into D1, print no
+//	                                     # tables (run one process per shard)
+//	experiments -cache DIR -merge D1,D2,D3
+//	                                     # fold the shard stores into DIR and
+//	                                     # replay the whole suite from cache,
+//	                                     # producing the canonical table
+//
+// Tables go to stdout; timing, cache statistics and diagnostics go to
+// stderr, so stdout is byte-identical across cold, warm, and
+// sharded-then-merged runs at any -parallel setting.
 package main
 
 import (
@@ -23,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 func main() {
@@ -32,16 +50,17 @@ func main() {
 	}
 }
 
-// jsonTable is the -json wire form of one experiment result.
+// jsonTable is the -json wire form of one experiment result. It carries no
+// timing — the data stream must be a pure function of the experiment
+// inputs; per-table seconds are printed to stderr.
 type jsonTable struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Claim   string     `json:"claim"`
-	Header  []string   `json:"header"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-	Pass    bool       `json:"pass"`
-	Seconds float64    `json:"seconds"`
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	Pass   bool       `json:"pass"`
 }
 
 func run(args []string, w io.Writer) error {
@@ -53,6 +72,9 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 20060723, "seed for sampled permutations and schedules")
 		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
 		asJSON   = fs.Bool("json", false, "emit each table as a JSON object instead of aligned text")
+		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
+		shardArg = fs.String("shard", "", "i/m: prime only shard i of m's keys into -cache and print no tables")
+		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into -cache before running")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,23 +83,73 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	selected := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			selected[id] = true
-		}
-	}
+	// -only must fail loudly on typos: an unknown or duplicate ID means the
+	// invocation is not measuring what its author thinks it is.
 	known := map[string]bool{}
+	knownIDs := make([]string, 0, len(experiments.All()))
 	for _, e := range experiments.All() {
 		known[e.ID] = true
+		knownIDs = append(knownIDs, e.ID)
 	}
-	for id := range selected {
-		if !known[id] {
-			return fmt.Errorf("unknown experiment %q", id)
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id == "" {
+			continue
 		}
+		if !known[id] {
+			fs.Usage()
+			return fmt.Errorf("unknown experiment %q in -only (known: %s)", id, strings.Join(knownIDs, ","))
+		}
+		if selected[id] {
+			fs.Usage()
+			return fmt.Errorf("duplicate experiment %q in -only", id)
+		}
+		selected[id] = true
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *parallel}
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir, 0); err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	if *mergeArg != "" {
+		if st == nil {
+			return fmt.Errorf("-merge requires -cache")
+		}
+		if *shardArg != "" {
+			return fmt.Errorf("-merge and -shard are mutually exclusive (merge replays the full suite)")
+		}
+		var dirs []string
+		for _, d := range strings.Split(*mergeArg, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				dirs = append(dirs, d)
+			}
+		}
+		added, err := st.Merge(dirs...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: merged %d entries from %d store(s)\n", added, len(dirs))
+	}
+	shardI, shardM := 0, 0
+	if *shardArg != "" {
+		if st == nil {
+			return fmt.Errorf("-shard requires -cache")
+		}
+		var err error
+		if shardI, shardM, err = store.ParseShard(*shardArg); err != nil {
+			return err
+		}
+	}
+	priming := shardM > 0
+
+	cfg := experiments.Config{
+		Quick: *quick, Seed: *seed, Workers: *parallel,
+		Cache: st, Shard: shardI, Shards: shardM,
+	}
 	enc := json.NewEncoder(w)
 	failures := 0
 	for _, e := range experiments.All() {
@@ -90,21 +162,34 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		elapsed := time.Since(start).Seconds()
+		if priming {
+			// A prime pass only fills the store; its tables fold nothing and
+			// carry no verdicts.
+			fmt.Fprintf(os.Stderr, "experiments: primed %s shard %d/%d (%.2fs)\n", e.ID, shardI+1, shardM, elapsed)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s (%.2fs)\n", e.ID, elapsed)
 		if *asJSON {
 			if err := enc.Encode(jsonTable{
 				ID: tbl.ID, Title: tbl.Title, Claim: tbl.Claim,
 				Header: tbl.Header, Rows: tbl.Rows, Notes: tbl.Notes,
-				Pass: tbl.Pass, Seconds: elapsed,
+				Pass: tbl.Pass,
 			}); err != nil {
 				return err
 			}
 		} else {
 			fmt.Fprint(w, tbl.Format())
-			fmt.Fprintf(w, "   (%.2fs)\n\n", elapsed)
+			fmt.Fprintln(w)
 		}
 		if !tbl.Pass {
 			failures++
 		}
+	}
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "experiments: cache %s (%d entries)\n", st.Stats(), st.Len())
+	}
+	if priming {
+		return nil
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) failed their shape checks", failures)

@@ -12,6 +12,16 @@
 //	tournament -algos yang-anderson,bakery -ns 4,8,16
 //	tournament -parallel 1             # sequential path — same bytes
 //	tournament -ndjson                 # machine-readable rows only, summary included as rows
+//
+// Caching and sharding (see README "The result store"):
+//
+//	tournament -cache DIR              # memoize candidate evaluations; warm
+//	                                   # re-runs search without simulating
+//	tournament -cache D1 -shard 1/3    # run only shard 1's (algo, n) cells,
+//	                                   # caching their evaluations; no stdout
+//	tournament -cache DIR -merge D1,D2,D3
+//	                                   # fold shard stores into DIR and replay
+//	                                   # the full grid from cache
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/perm"
 	"repro/internal/runner"
+	"repro/internal/store"
 )
 
 func main() {
@@ -63,6 +74,9 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 20060723, "seed for all candidate generation")
 		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
 		ndjson   = fs.Bool("ndjson", false, "emit the summary as NDJSON rows instead of an aligned table")
+		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
+		shardArg = fs.String("shard", "", "i/m: run only shard i of m's (algo, n) cells into -cache, no stdout")
+		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into -cache before running")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +84,40 @@ func run(args []string, w io.Writer) error {
 		}
 		return err
 	}
+
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir, 0); err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+	if *mergeArg != "" {
+		if st == nil {
+			return fmt.Errorf("-merge requires -cache")
+		}
+		if *shardArg != "" {
+			return fmt.Errorf("-merge and -shard are mutually exclusive (merge replays the full grid)")
+		}
+		dirs := splitCSV(*mergeArg)
+		added, err := st.Merge(dirs...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tournament: merged %d entries from %d store(s)\n", added, len(dirs))
+	}
+	shardI, shardM := 0, 0
+	if *shardArg != "" {
+		if st == nil {
+			return fmt.Errorf("-shard requires -cache")
+		}
+		var err error
+		if shardI, shardM, err = store.ParseShard(*shardArg); err != nil {
+			return err
+		}
+	}
+	priming := shardM > 0
 
 	algos := splitCSV(*algosCSV)
 	if len(algos) == 0 {
@@ -97,14 +145,34 @@ func run(args []string, w io.Writer) error {
 	}
 	search.Seed = *seed
 
-	eng := runner.New(*parallel)
+	eng := runner.NewCached(runner.New(*parallel), st)
 	enc := json.NewEncoder(w)
 	var summaries []row
 	for _, algo := range algos {
 		for _, n := range ns {
+			if priming {
+				// Deterministic cell partition: every (algo, n) search cell
+				// belongs to exactly one shard, keyed like any other unit.
+				// The search itself is adaptive, so the whole cell — not its
+				// individual candidates — is the sharding granule.
+				cellKey := store.Key(runner.CacheVersion, struct {
+					Op    string `json:"op"`
+					Algo  string `json:"algo"`
+					N     int    `json:"n"`
+					Seed  int64  `json:"seed"`
+					Quick bool   `json:"quick"`
+				}{"cell", algo, n, *seed, *quick})
+				if store.ShardOf(cellKey, shardM) != shardI {
+					continue
+				}
+			}
 			found, err := adversary.SearchWorst(eng, algo, n, search)
 			if err != nil {
 				return err
+			}
+			if priming {
+				fmt.Fprintf(os.Stderr, "tournament: primed %s n=%d (%d evaluations)\n", algo, n, found.Evaluated)
+				continue
 			}
 			for _, p := range found.Fixed {
 				r := row{
@@ -139,6 +207,12 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "tournament: cache %s (%d entries)\n", st.Stats(), st.Len())
+	}
+	if priming {
+		return nil
+	}
 	if *ndjson {
 		for _, s := range summaries {
 			if err := enc.Encode(s); err != nil {

@@ -74,3 +74,65 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
+
+// TestCacheShardMergeByteIdentical is the store acceptance at the
+// tournament level: a warm-cache replay and a sharded-then-merged replay
+// must both reproduce the cold NDJSON stream byte for byte, and prime
+// passes must write nothing to the data stream.
+func TestCacheShardMergeByteIdentical(t *testing.T) {
+	// Cheap enough (seconds) to run in every mode — CI's -short pass is the
+	// only automated coverage of tournament's -cache/-merge byte-identity.
+	grid := []string{"-quick", "-algos", "yang-anderson,peterson", "-ns", "4,5", "-ndjson"}
+	var cold bytes.Buffer
+	if err := run(append(grid[:len(grid):len(grid)], "-parallel", "1"), &cold); err != nil {
+		t.Fatal(err)
+	}
+
+	warmDir := t.TempDir()
+	for _, w := range []int{4, 1} {
+		var buf bytes.Buffer
+		if err := run(append(grid[:len(grid):len(grid)], "-cache", warmDir, "-parallel", fmt.Sprint(w)), &buf); err != nil {
+			t.Fatalf("warm workers=%d: %v", w, err)
+		}
+		if buf.String() != cold.String() {
+			t.Fatalf("cached run (workers=%d) differs from cold:\n%s\nvs\n%s", w, buf.String(), cold.String())
+		}
+	}
+
+	const m = 3
+	var dirs []string
+	for i := 1; i <= m; i++ {
+		dir := t.TempDir()
+		dirs = append(dirs, dir)
+		var buf bytes.Buffer
+		if err := run(append(grid[:len(grid):len(grid)], "-cache", dir, "-shard", fmt.Sprintf("%d/%d", i, m)), &buf); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, m, err)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("shard %d/%d wrote to the data stream: %q", i, m, buf.String())
+		}
+	}
+	var merged bytes.Buffer
+	if err := run(append(grid[:len(grid):len(grid)], "-cache", t.TempDir(), "-merge", strings.Join(dirs, ",")), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.String() != cold.String() {
+		t.Fatalf("sharded-then-merged output differs from cold:\n%s\nvs\n%s", merged.String(), cold.String())
+	}
+}
+
+func TestTournamentShardFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-shard", "1/2"}, &buf); err == nil {
+		t.Fatal("-shard without -cache accepted")
+	}
+	if err := run([]string{"-merge", "x"}, &buf); err == nil {
+		t.Fatal("-merge without -cache accepted")
+	}
+	if err := run([]string{"-cache", t.TempDir(), "-shard", "3/2"}, &buf); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := run([]string{"-cache", t.TempDir(), "-shard", "1/2/3"}, &buf); err == nil {
+		t.Fatal("trailing garbage in -shard accepted")
+	}
+}

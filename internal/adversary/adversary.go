@@ -44,6 +44,12 @@ type Config struct {
 	Horizon int
 	// Seed drives all candidate generation.
 	Seed int64
+	// Seeds are extra candidate schedules injected into the seeding round
+	// after the fixed policies (origin "seed:<i>"): warm starts from a
+	// previous search, known-expensive schedules, or — in tests — known-bad
+	// ones. Like every candidate, a Seed that fails to complete a canonical
+	// execution is discarded, never an error.
+	Seeds []machine.Spec
 }
 
 // Quick returns a reduced search configuration for -quick paths and smoke
@@ -83,7 +89,8 @@ type Found struct {
 	// replay the execution.
 	Spec machine.Spec
 	// Origin tells where the winner came from: "fixed:<name>",
-	// "restart:<round>", or "mutant:<round>".
+	// "seed:<i>" (a Config.Seeds warm start), "restart:<round>", or
+	// "mutant:<round>".
 	Origin string
 	// Report is the worst canonical execution's cost.
 	Report cost.Report
@@ -98,6 +105,12 @@ type Found struct {
 
 // FixedBest returns the costliest canonical fixed policy, the baseline the
 // search must match or beat. ok is false when no fixed policy completed.
+//
+// Tie-break: equal SC costs are resolved by submission order — the first
+// policy in Fixed (the fixedCandidates listing order) wins, because the
+// comparison is strictly greater-than. The incumbent update inside
+// SearchWorst uses the same rule, so the reported winner is a deterministic
+// function of the candidate sequence alone, independent of worker count.
 func (f Found) FixedBest() (PolicyResult, bool) {
 	var best PolicyResult
 	ok := false
@@ -164,10 +177,21 @@ func mutate(rng *rand.Rand, base []int, n, length int) []int {
 	return p
 }
 
+// Engine is the candidate-evaluation backend SearchWorst fans out on. Both
+// *runner.Engine (plain execution) and *runner.CachedEngine (memoized
+// through the content-addressed store, which makes fixed-policy seeds and
+// re-proposed duplicate genomes free across rounds, searches and processes)
+// satisfy it.
+type Engine interface {
+	RunSchedules(jobs []runner.ScheduleJob, fold func(runner.ScheduleResult) error) error
+}
+
 // SearchWorst hunts for the costliest canonical execution of the named
 // algorithm at n processes. Candidates fan out over the engine's worker
-// pool; the result is byte-identical at every worker count.
-func SearchWorst(eng *runner.Engine, algoName string, n int, cfg Config) (Found, error) {
+// pool; the result is byte-identical at every worker count, and — because
+// candidate evaluation is a pure function of the candidate — identical
+// whether results come from execution or a warm result store.
+func SearchWorst(eng Engine, algoName string, n int, cfg Config) (Found, error) {
 	cfg = cfg.withDefaults(n)
 	found := Found{Algo: algoName, N: n}
 
@@ -192,6 +216,11 @@ func SearchWorst(eng *runner.Engine, algoName string, n int, cfg Config) (Found,
 		return eng.RunSchedules(jobs, func(r runner.ScheduleResult) error {
 			c := cands[r.Index]
 			if r.Err != nil {
+				// Hard failures only: unknown algorithm, bad spec, ill-formed
+				// step. Truncated candidates — including traces the cost
+				// model rejects — arrive with Err nil and Canonical false
+				// (runner.ExecuteSchedule classifies them as discards), so a
+				// single bad schedule can never abort the batch.
 				return fmt.Errorf("adversary: %s n=%d candidate %s: %w", algoName, n, c.origin, r.Err)
 			}
 			found.Evaluated++
@@ -204,6 +233,8 @@ func SearchWorst(eng *runner.Engine, algoName string, n int, cfg Config) (Found,
 				found.Discarded++
 				return nil
 			}
+			// Strictly-greater keeps the earliest submission on SC ties (the
+			// documented tie-break, shared with Found.FixedBest).
 			if !incumbent.ok || r.Report.SC > incumbent.report.SC {
 				incumbent.ok = true
 				incumbent.spec = c.spec
@@ -215,8 +246,12 @@ func SearchWorst(eng *runner.Engine, algoName string, n int, cfg Config) (Found,
 		})
 	}
 
-	// Round 0 seeds the pool: every fixed policy plus fresh random prefixes.
+	// Round 0 seeds the pool: every fixed policy, the caller's warm-start
+	// seeds, then fresh random prefixes.
 	seedRound := fixedCandidates(n, cfg.Seed)
+	for i, sp := range cfg.Seeds {
+		seedRound = append(seedRound, candidate{spec: sp, origin: fmt.Sprintf("seed:%d", i)})
+	}
 	for i := 0; i < cfg.Restarts; i++ {
 		rng := rand.New(rand.NewSource(runner.MixSeed(cfg.Seed, 0, int64(i))))
 		seedRound = append(seedRound, candidate{

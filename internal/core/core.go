@@ -16,6 +16,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/construct"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/perm"
 	"repro/internal/program"
 	"repro/internal/runner"
+	"repro/internal/store"
 	"repro/internal/verify"
 )
 
@@ -142,13 +145,34 @@ func Sweep(f program.Factory, perms [][]int) (SweepStats, error) {
 	return SweepOn(runner.Default(), f, perms)
 }
 
-// sweepOut is the per-permutation result a sweep aggregates. Workers
-// return this small summary instead of the whole Pipeline so an
-// out-of-order window holds kilobytes, not executions.
+// sweepOut is the per-permutation result a sweep aggregates — and the unit
+// the content-addressed store memoizes, so its fields are exported pure
+// values that round-trip exactly through JSON. Workers return this small
+// summary instead of the whole Pipeline so an out-of-order window (and a
+// cache entry) holds bytes, not executions.
 type sweepOut struct {
-	cost, bits int
-	bpc        float64
-	key        string // decoded execution identity for the Distinct count
+	Cost int     `json:"c"`
+	Bits int     `json:"b"`
+	BPC  float64 `json:"r"`
+	// Hash identifies the decoded execution for the Distinct count; a short
+	// content hash stands in for the execution string so cache entries stay
+	// small and cold and warm runs count distincts identically.
+	Hash string `json:"h"`
+}
+
+// sweepKeyParts is the canonical content of one permutation's store key.
+type sweepKeyParts struct {
+	Op   string `json:"op"`
+	Algo string `json:"algo"`
+	N    int    `json:"n"`
+	Perm []int  `json:"perm"`
+}
+
+// hashExec returns the short content hash of a decoded execution's string
+// form, used for distinctness counting.
+func hashExec(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:8])
 }
 
 // SweepOn runs the pipeline for every permutation in perms on the given
@@ -157,36 +181,50 @@ type sweepOut struct {
 // registers), and results are folded in permutation order, so the stats —
 // including first-error behaviour — are identical at every worker count.
 func SweepOn(eng *runner.Engine, f program.Factory, perms [][]int) (SweepStats, error) {
+	return SweepCached(runner.NewCached(eng, nil), f, perms)
+}
+
+// SweepCached is SweepOn through a cached engine: each permutation's
+// pipeline summary is keyed by (algorithm, n, π) under the code-version
+// salt, so re-runs — in this process or any other sharing the store —
+// fold cached summaries instead of re-verifying the pipeline, and the
+// aggregated stats are identical either way. On a priming (shard) engine
+// it only fills the store: the returned stats are meaningless and the
+// caller must not validate them.
+func SweepCached(eng *runner.CachedEngine, f program.Factory, perms [][]int) (SweepStats, error) {
 	stats := SweepStats{N: f.N(), MinCost: -1}
 	seen := make(map[string]bool, len(perms))
-	err := runner.MapOrdered(eng, len(perms), func(i int) (sweepOut, error) {
+	key := func(i int) string {
+		return store.Key(runner.CacheVersion, sweepKeyParts{Op: "sweep", Algo: f.Name(), N: f.N(), Perm: perms[i]})
+	}
+	err := runner.CachedMap(eng, len(perms), key, func(i int) (sweepOut, error) {
 		p, err := Run(f, perms[i])
 		if err != nil {
 			return sweepOut{}, err
 		}
 		return sweepOut{
-			cost: p.Cost,
-			bits: p.Encoding.BitLen,
-			bpc:  p.BitsPerCost(),
-			key:  p.Decoded.String(),
+			Cost: p.Cost,
+			Bits: p.Encoding.BitLen,
+			BPC:  p.BitsPerCost(),
+			Hash: hashExec(p.Decoded.String()),
 		}, nil
 	}, func(i int, o sweepOut) error {
 		stats.Perms++
-		stats.SumCost += o.cost
-		stats.SumBits += o.bits
-		if o.cost > stats.MaxCost {
-			stats.MaxCost = o.cost
+		stats.SumCost += o.Cost
+		stats.SumBits += o.Bits
+		if o.Cost > stats.MaxCost {
+			stats.MaxCost = o.Cost
 		}
-		if stats.MinCost < 0 || o.cost < stats.MinCost {
-			stats.MinCost = o.cost
+		if stats.MinCost < 0 || o.Cost < stats.MinCost {
+			stats.MinCost = o.Cost
 		}
-		if o.bits > stats.MaxBits {
-			stats.MaxBits = o.bits
+		if o.Bits > stats.MaxBits {
+			stats.MaxBits = o.Bits
 		}
-		if o.bpc > stats.MaxBitsPerCost {
-			stats.MaxBitsPerCost = o.bpc
+		if o.BPC > stats.MaxBitsPerCost {
+			stats.MaxBitsPerCost = o.BPC
 		}
-		seen[o.key] = true
+		seen[o.Hash] = true
 		return nil
 	})
 	if err != nil {
@@ -205,6 +243,14 @@ func ExhaustiveSweep(f program.Factory) (SweepStats, error) {
 
 // ExhaustiveSweepOn is ExhaustiveSweep on a caller-chosen engine.
 func ExhaustiveSweepOn(eng *runner.Engine, f program.Factory) (SweepStats, error) {
+	return ExhaustiveSweepCached(runner.NewCached(eng, nil), f)
+}
+
+// ExhaustiveSweepCached is ExhaustiveSweep through a cached engine. On a
+// priming (shard) engine the injectivity check is skipped — a prime pass
+// folds nothing, so there is nothing to count; the check runs on the merged
+// replay instead.
+func ExhaustiveSweepCached(eng *runner.CachedEngine, f program.Factory) (SweepStats, error) {
 	n := f.N()
 	if n > 8 {
 		return SweepStats{}, fmt.Errorf("core: exhaustive sweep of S_%d (%d permutations) refused; use Sweep with a sample", n, perm.Factorial(n))
@@ -214,9 +260,12 @@ func ExhaustiveSweepOn(eng *runner.Engine, f program.Factory) (SweepStats, error
 		perms = append(perms, append([]int(nil), pi...))
 		return true
 	})
-	stats, err := SweepOn(eng, f, perms)
+	stats, err := SweepCached(eng, f, perms)
 	if err != nil {
 		return stats, err
+	}
+	if eng.Priming() {
+		return stats, nil
 	}
 	if want := int(perm.Factorial(n)); stats.Distinct != want {
 		return stats, fmt.Errorf("core: only %d distinct executions for %d permutations (Theorem 7.5 injectivity violated)", stats.Distinct, want)

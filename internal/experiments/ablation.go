@@ -42,9 +42,14 @@ func E10CCExtension(cfg Config) (*Table, error) {
 		maxSC, maxCC int
 		minR, maxR   float64
 	}
-	type permOut struct{ sc, cc int }
+	// permOut is a cached unit value: exported pure fields, exact JSON
+	// round-trip.
+	type permOut struct {
+		SC int `json:"sc"`
+		CC int `json:"cc"`
+	}
 	eng := cfg.eng()
-	err := runner.MapOrdered(eng, len(jobs), func(ri int) (rowOut, error) {
+	err := runner.MapOrdered(eng.Engine, len(jobs), func(ri int) (rowOut, error) {
 		j := jobs[ri]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
@@ -52,7 +57,15 @@ func E10CCExtension(cfg Config) (*Table, error) {
 		}
 		perms := perm.Sample(j.n, 6, cfg.Seed+int64(j.n)*31)
 		o := rowOut{perms: len(perms), minR: 1e9}
-		err = runner.MapOrdered(eng, len(perms), func(pi int) (permOut, error) {
+		key := func(pi int) string {
+			return ukey(struct {
+				Op   string `json:"op"`
+				Algo string `json:"algo"`
+				N    int    `json:"n"`
+				Perm []int  `json:"perm"`
+			}{"E10", j.algo, j.n, perms[pi]})
+		}
+		err = runner.CachedMap(eng, len(perms), key, func(pi int) (permOut, error) {
 			p, err := core.Run(f, perms[pi])
 			if err != nil {
 				return permOut{}, fmt.Errorf("E10 %s n=%d: %w", j.algo, j.n, err)
@@ -61,15 +74,15 @@ func E10CCExtension(cfg Config) (*Table, error) {
 			if err != nil {
 				return permOut{}, err
 			}
-			return permOut{sc: rep.SC, cc: rep.CCRMR}, nil
+			return permOut{SC: rep.SC, CC: rep.CCRMR}, nil
 		}, func(_ int, po permOut) error {
-			if po.sc > o.maxSC {
-				o.maxSC = po.sc
+			if po.SC > o.maxSC {
+				o.maxSC = po.SC
 			}
-			if po.cc > o.maxCC {
-				o.maxCC = po.cc
+			if po.CC > o.maxCC {
+				o.maxCC = po.CC
 			}
-			ratio := float64(po.cc) / float64(po.sc)
+			ratio := float64(po.CC) / float64(po.SC)
 			if ratio < o.minR {
 				o.minR = ratio
 			}
@@ -127,10 +140,24 @@ func E11EncodingAblation(cfg Config) (*Table, error) {
 			jobs = append(jobs, job{name, n})
 		}
 	}
+	// out is a cached unit value: exported pure fields, exact JSON
+	// round-trip.
 	type out struct {
-		gamma, fixed, chars, cost int
+		Gamma int `json:"g"`
+		Fixed int `json:"f"`
+		Chars int `json:"ch"`
+		Cost  int `json:"c"`
 	}
-	err := runner.MapOrdered(cfg.eng(), len(jobs), func(ri int) (out, error) {
+	eng := cfg.eng()
+	key := func(ri int) string {
+		return ukey(struct {
+			Op   string `json:"op"`
+			Algo string `json:"algo"`
+			N    int    `json:"n"`
+			Seed int64  `json:"seed"`
+		}{"E11", jobs[ri].algo, jobs[ri].n, cfg.Seed})
+	}
+	err := runner.CachedMap(eng, len(jobs), key, func(ri int) (out, error) {
 		j := jobs[ri]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
@@ -141,31 +168,31 @@ func E11EncodingAblation(cfg Config) (*Table, error) {
 		if err != nil {
 			return out{}, fmt.Errorf("E11 %s n=%d: %w", j.algo, j.n, err)
 		}
-		o := out{gamma: p.Encoding.BitLen, cost: p.Cost}
+		o := out{Gamma: p.Encoding.BitLen, Cost: p.Cost}
 		for _, col := range p.Encoding.Columns {
 			for _, c := range col {
-				o.fixed += 3
-				o.chars += 8 * len(c.String())
+				o.Fixed += 3
+				o.Chars += 8 * len(c.String())
 				if c.Tag == encode.TagWSig {
-					o.fixed += 3 * 16
+					o.Fixed += 3 * 16
 				}
-				o.chars += 8 // '#' separator
+				o.Chars += 8 // '#' separator
 			}
-			o.fixed += 3
-			o.chars += 8 // '$'
+			o.Fixed += 3
+			o.Chars += 8 // '$'
 		}
 		return o, nil
 	}, func(ri int, o out) error {
 		j := jobs[ri]
 		t.Rows = append(t.Rows, []string{
-			j.algo, itoa(j.n), itoa(o.gamma), itoa(o.fixed), itoa(o.chars),
-			f2(float64(o.gamma) / float64(o.cost)),
-			f2(float64(o.fixed) / float64(o.cost)),
-			f2(float64(o.chars) / float64(o.cost)),
+			j.algo, itoa(j.n), itoa(o.Gamma), itoa(o.Fixed), itoa(o.Chars),
+			f2(float64(o.Gamma) / float64(o.Cost)),
+			f2(float64(o.Fixed) / float64(o.Cost)),
+			f2(float64(o.Chars) / float64(o.Cost)),
 		})
-		if o.gamma >= o.fixed {
+		if o.Gamma >= o.Fixed {
 			t.Pass = false
-			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: γ encoding (%d bits) not smaller than fixed-width (%d)", j.algo, j.n, o.gamma, o.fixed))
+			t.Notes = append(t.Notes, fmt.Sprintf("%s n=%d: γ encoding (%d bits) not smaller than fixed-width (%d)", j.algo, j.n, o.Gamma, o.Fixed))
 		}
 		return nil
 	})

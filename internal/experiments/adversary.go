@@ -52,6 +52,21 @@ func E13FoundWorst(cfg Config) (*Table, error) {
 	// out over the engine, and is deterministic at every worker count.
 	eng := cfg.eng()
 	for _, c := range cells {
+		if eng.Priming() {
+			// The search is adaptive (round r depends on round r-1), so the
+			// shard granule is the whole (algo, n) cell: one shard runs and
+			// caches each search rather than every shard repeating it.
+			cellKey := ukey(struct {
+				Op    string `json:"op"`
+				Algo  string `json:"algo"`
+				N     int    `json:"n"`
+				Seed  int64  `json:"seed"`
+				Quick bool   `json:"quick"`
+			}{"E13-cell", c.algo, c.n, cfg.Seed, cfg.Quick})
+			if !eng.Owns(cellKey) {
+				continue
+			}
+		}
 		found, err := adversary.SearchWorst(eng, c.algo, c.n, search)
 		if err != nil {
 			return nil, fmt.Errorf("E13 %s n=%d: %w", c.algo, c.n, err)

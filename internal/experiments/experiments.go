@@ -29,6 +29,7 @@ import (
 	"repro/internal/perm"
 	"repro/internal/program"
 	"repro/internal/runner"
+	"repro/internal/store"
 )
 
 // Config tunes experiment scale.
@@ -41,10 +42,34 @@ type Config struct {
 	// GOMAXPROCS, 1 forces the sequential path. Tables are identical at
 	// every setting.
 	Workers int
+	// Cache is the optional content-addressed result store. With a cache,
+	// every simulation unit — canonical-execution jobs, sweep permutations,
+	// per-trial linearization draws, schedule-search candidates — is keyed
+	// and consulted before executing, so a warm re-run simulates nothing
+	// and still folds byte-identical tables.
+	Cache *store.Store
+	// Shard/Shards select prime-only mode: with Shards = m > 0 and
+	// Shard = i in [0, m), runs execute only shard i's missing keys into
+	// Cache and produce no meaningful tables. m processes with disjoint
+	// shards split one suite; store.Merge folds their caches back together
+	// for a full replay.
+	Shard, Shards int
 }
 
 // eng returns the engine experiments fan out on.
-func (cfg Config) eng() *runner.Engine { return runner.New(cfg.Workers) }
+func (cfg Config) eng() *runner.CachedEngine {
+	ce := runner.NewCached(runner.New(cfg.Workers), cfg.Cache)
+	if cfg.Shards > 0 {
+		ce = ce.WithShard(cfg.Shard, cfg.Shards)
+	}
+	return ce
+}
+
+// ukey builds an experiment-unit store key from pure value parts under the
+// shared code-version salt. Experiments key any unit whose output feeds a
+// table but is not already keyed at a lower layer (jobs, schedule
+// candidates and sweep permutations key themselves).
+func ukey(parts any) string { return store.Key(runner.CacheVersion, parts) }
 
 // Table is one experiment's result.
 type Table struct {
@@ -172,7 +197,7 @@ func E1LowerBound(cfg Config) (*Table, error) {
 		kind  string
 		stats core.SweepStats
 	}
-	err := runner.MapOrdered(eng, len(jobs), func(i int) (out, error) {
+	err := runner.MapOrdered(eng.Engine, len(jobs), func(i int) (out, error) {
 		j := jobs[i]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
@@ -181,9 +206,9 @@ func E1LowerBound(cfg Config) (*Table, error) {
 		o := out{kind: "sample"}
 		if j.exhaustive {
 			o.kind = "all S_n"
-			o.stats, err = core.ExhaustiveSweepOn(eng, f)
+			o.stats, err = core.ExhaustiveSweepCached(eng, f)
 		} else {
-			o.stats, err = core.SweepOn(eng, f, perm.Sample(j.n, j.k, cfg.Seed+int64(j.n)))
+			o.stats, err = core.SweepCached(eng, f, perm.Sample(j.n, j.k, cfg.Seed+int64(j.n)))
 		}
 		if err != nil {
 			return out{}, fmt.Errorf("E1 %s n=%d: %w", j.algo, j.n, err)
@@ -283,12 +308,17 @@ func E3EntryOrder(cfg Config) (*Table, error) {
 		jobs = append(jobs, job{"yang-anderson", 4, 0}, job{"bakery", 4, 0}, job{"yang-anderson", 16, 3}, job{"bakery", 12, 3})
 	}
 	eng := cfg.eng()
-	type count struct{ lins, bad int }
+	// count is a cached unit value: exported pure fields, exact JSON
+	// round-trip.
+	type count struct {
+		Lins int `json:"l"`
+		Bad  int `json:"b"`
+	}
 	type out struct {
 		perms int
 		count
 	}
-	err := runner.MapOrdered(eng, len(jobs), func(ri int) (out, error) {
+	err := runner.MapOrdered(eng.Engine, len(jobs), func(ri int) (out, error) {
 		j := jobs[ri]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
@@ -304,7 +334,18 @@ func E3EntryOrder(cfg Config) (*Table, error) {
 			perms = perm.Sample(j.n, j.k, cfg.Seed+int64(j.n))
 		}
 		o := out{perms: len(perms)}
-		err = runner.MapOrdered(eng, len(perms), func(pi int) (count, error) {
+		key := func(pi int) string {
+			return ukey(struct {
+				Op   string `json:"op"`
+				Algo string `json:"algo"`
+				N    int    `json:"n"`
+				Perm []int  `json:"perm"`
+				Seed int64  `json:"seed"`
+				Row  int    `json:"row"`
+				Idx  int    `json:"idx"`
+			}{"E3", j.algo, j.n, perms[pi], cfg.Seed, ri, pi})
+		}
+		err = runner.CachedMap(eng, len(perms), key, func(pi int) (count, error) {
 			p, err := core.Run(f, perms[pi])
 			if err != nil {
 				return count{}, fmt.Errorf("E3 %s n=%d pi=%v: %w", j.algo, j.n, perms[pi], err)
@@ -319,22 +360,22 @@ func E3EntryOrder(cfg Config) (*Table, error) {
 				if err != nil {
 					return c, err
 				}
-				c.lins++
+				c.Lins++
 				if !orderMatches(alpha.EntryOrder(), perms[pi]) {
-					c.bad++
+					c.Bad++
 				}
 			}
 			return c, nil
 		}, func(_ int, c count) error {
-			o.lins += c.lins
-			o.bad += c.bad
+			o.Lins += c.Lins
+			o.Bad += c.Bad
 			return nil
 		})
 		return o, err
 	}, func(ri int, o out) error {
 		j := jobs[ri]
-		t.Rows = append(t.Rows, []string{j.algo, itoa(j.n), itoa(o.perms), itoa(o.lins), itoa(o.bad)})
-		if o.bad > 0 {
+		t.Rows = append(t.Rows, []string{j.algo, itoa(j.n), itoa(o.perms), itoa(o.Lins), itoa(o.Bad)})
+		if o.Bad > 0 {
 			t.Pass = false
 		}
 		return nil
@@ -383,13 +424,13 @@ func E4EncodingLength(cfg Config) (*Table, error) {
 		}
 	}
 	eng := cfg.eng()
-	err := runner.MapOrdered(eng, len(jobs), func(i int) (core.SweepStats, error) {
+	err := runner.MapOrdered(eng.Engine, len(jobs), func(i int) (core.SweepStats, error) {
 		j := jobs[i]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
 			return core.SweepStats{}, err
 		}
-		stats, err := core.SweepOn(eng, f, perm.Sample(j.n, 6, cfg.Seed+int64(j.n)))
+		stats, err := core.SweepCached(eng, f, perm.Sample(j.n, 6, cfg.Seed+int64(j.n)))
 		if err != nil {
 			return stats, fmt.Errorf("E4 %s n=%d: %w", j.algo, j.n, err)
 		}
@@ -441,13 +482,13 @@ func E5DecodeInjectivity(cfg Config) (*Table, error) {
 		}
 	}
 	eng := cfg.eng()
-	err := runner.MapOrdered(eng, len(jobs), func(i int) (core.SweepStats, error) {
+	err := runner.MapOrdered(eng.Engine, len(jobs), func(i int) (core.SweepStats, error) {
 		j := jobs[i]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
 			return core.SweepStats{}, err
 		}
-		stats, err := core.ExhaustiveSweepOn(eng, f)
+		stats, err := core.ExhaustiveSweepCached(eng, f)
 		if err != nil {
 			return stats, fmt.Errorf("E5 %s n=%d: %w", j.algo, j.n, err)
 		}
@@ -493,14 +534,24 @@ func E6LinearizationCost(cfg Config) (*Table, error) {
 	const trials = 4
 	const perPerm = 12
 	eng := cfg.eng()
-	err := runner.MapOrdered(eng, len(jobs), func(ri int) (int, error) {
+	err := runner.MapOrdered(eng.Engine, len(jobs), func(ri int) (int, error) {
 		j := jobs[ri]
 		f, err := algo(j.algo, j.n)
 		if err != nil {
 			return 0, err
 		}
 		worst := 1
-		err = runner.MapOrdered(eng, trials, func(trial int) (int, error) {
+		key := func(trial int) string {
+			return ukey(struct {
+				Op    string `json:"op"`
+				Algo  string `json:"algo"`
+				N     int    `json:"n"`
+				Seed  int64  `json:"seed"`
+				Row   int    `json:"row"`
+				Trial int    `json:"trial"`
+			}{"E6", j.algo, j.n, cfg.Seed, ri, trial})
+		}
+		err = runner.CachedMap(eng, trials, key, func(trial int) (int, error) {
 			// Each trial draws its permutation and its linearizations from
 			// an rng addressed by (experiment, row, trial).
 			rng := rand.New(rand.NewSource(runner.MixSeed(cfg.Seed, 6, int64(ri), int64(trial))))
@@ -673,13 +724,13 @@ func E9InformationBound(cfg Config) (*Table, error) {
 		ns = append(ns, n)
 	}
 	eng := cfg.eng()
-	err := runner.MapOrdered(eng, len(ns), func(i int) (core.SweepStats, error) {
+	err := runner.MapOrdered(eng.Engine, len(ns), func(i int) (core.SweepStats, error) {
 		n := ns[i]
 		f, err := algo("yang-anderson", n)
 		if err != nil {
 			return core.SweepStats{}, err
 		}
-		stats, err := core.ExhaustiveSweepOn(eng, f)
+		stats, err := core.ExhaustiveSweepCached(eng, f)
 		if err != nil {
 			return stats, fmt.Errorf("E9 n=%d: %w", n, err)
 		}

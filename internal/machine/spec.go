@@ -87,3 +87,31 @@ func (sp Spec) New() (Scheduler, error) {
 // String returns the policy name (matching the constructed Scheduler's
 // Name for the stateless policies).
 func (sp Spec) String() string { return sp.Kind }
+
+// Canon returns the hashing-canonical form of the spec: every field the
+// policy does not consult is zeroed, and the slice fields are normalized to
+// non-nil copies. Two specs that construct behaviourally identical
+// schedulers therefore serialize to identical bytes, which is what lets the
+// content-addressed result store (internal/store) treat a re-proposed
+// duplicate — a RandomSpec built with an incidental Delay, the same search
+// genome re-derived in a later round — as the same key instead of a fresh
+// simulation. Unknown kinds pass through unchanged (they fail at New, not
+// at hashing).
+func (sp Spec) Canon() Spec {
+	c := Spec{Kind: sp.Kind, Order: []int{}, Prefix: []int{}}
+	switch sp.Kind {
+	case "random":
+		c.Seed = sp.Seed
+	case "hold-cs":
+		c.Delay = sp.Delay
+	case "solo":
+		c.Order = append([]int{}, sp.Order...)
+	case "prefix-greedy":
+		c.Prefix = append([]int{}, sp.Prefix...)
+	case "round-robin", "progress-first", "greedy-cost":
+		// Stateless parameterization: nothing to keep.
+	default:
+		c = sp
+	}
+	return c
+}

@@ -1,6 +1,7 @@
 package machine_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/machine"
@@ -181,5 +182,37 @@ func TestRoundRobinFairnessWindow(t *testing.T) {
 	}
 	if !sys.AllHalted() {
 		t.Fatal("bakery under round-robin did not complete")
+	}
+}
+
+// TestSpecCanonNormalizesForHashing checks the canonicalization the
+// content-addressed result store keys on: fields a policy ignores are
+// zeroed, slices normalize to non-nil, and behaviour-relevant parameters
+// survive.
+func TestSpecCanonNormalizesForHashing(t *testing.T) {
+	rr := machine.Spec{Kind: "round-robin", Seed: 99, Delay: 3, Order: []int{1}, Prefix: []int{2}}
+	if got, want := rr.Canon(), machine.RoundRobinSpec().Canon(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-robin with junk parameters must canonicalize to the bare spec: %+v vs %+v", got, want)
+	}
+	if got := machine.RandomSpec(7).Canon(); got.Seed != 7 {
+		t.Fatalf("random must keep its seed: %+v", got)
+	}
+	if got := machine.HoldCSSpec(12).Canon(); got.Delay != 12 {
+		t.Fatalf("hold-cs must keep its delay: %+v", got)
+	}
+	a := machine.PrefixGreedySpec([]int{0, 1, 2}).Canon()
+	b := machine.Spec{Kind: "prefix-greedy", Prefix: []int{0, 1, 2}, Seed: 5}.Canon()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("equal prefixes must canonicalize identically: %+v vs %+v", a, b)
+	}
+	if a.Order == nil || a.Prefix == nil {
+		t.Fatalf("canonical slices must be non-nil (JSON [] vs null): %+v", a)
+	}
+	if got := machine.SoloSpec([]int{2, 0, 1}).Canon(); !reflect.DeepEqual(got.Order, []int{2, 0, 1}) {
+		t.Fatalf("solo must keep its order: %+v", got)
+	}
+	unknown := machine.Spec{Kind: "no-such-policy", Seed: 1}
+	if got := unknown.Canon(); got.Kind != "no-such-policy" || got.Seed != 1 {
+		t.Fatalf("unknown kinds pass through for New to reject: %+v", got)
 	}
 }

@@ -1,0 +1,249 @@
+package runner
+
+import (
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/store"
+)
+
+// CacheVersion is the code-version salt folded into every store key in the
+// repository (jobs, schedule candidates, sweep permutations, experiment
+// units). Bump it whenever the simulator's observable outputs change —
+// machine stepping, scheduler semantics, cost accounting, the encoding —
+// so results written by an older binary become unreachable keys instead of
+// stale answers. A cache populated under a different version is simply
+// cold, never wrong.
+const CacheVersion = "fanl06-sim-v3"
+
+// CachedEngine wraps an Engine with an optional content-addressed result
+// store and an optional prime-shard assignment. It is the handle the whole
+// stack fans out through:
+//
+//   - with a nil store it behaves exactly like the bare Engine;
+//   - with a store, Run / RunSchedules / CachedMap consult the store before
+//     executing and write back after, and because results are folded in
+//     submission order the folds see byte-identical values whether each
+//     result came from cache or execution, at any worker count;
+//   - with a shard assignment (WithShard) the engine becomes a prime pass:
+//     statically enumerable fan-outs execute only this shard's missing keys
+//     and skip their folds entirely, so m processes can split one sweep's
+//     key space and later fold their stores together with store.Merge.
+//
+// Adaptive fan-outs (RunSchedules, whose batches are generated round by
+// round from prior results) ignore the shard partition: they execute
+// whatever they miss and cache everything, since their control flow cannot
+// proceed without the values. Deterministic search makes every shard cache
+// identical entries for them, so merging stays consistent.
+type CachedEngine struct {
+	*Engine
+	cache  *store.Store
+	shardI int
+	shardM int // 0 = normal mode; > 0 = prime-only shard i of m
+}
+
+// NewCached wraps an engine with a result store; st may be nil for a plain
+// uncached engine behind the same interface.
+func NewCached(e *Engine, st *store.Store) *CachedEngine {
+	return &CachedEngine{Engine: e, cache: st}
+}
+
+// WithShard returns a copy of the engine acting as a prime pass for shard i
+// of m (0-based). It requires a store — a shard pass without somewhere to
+// write results would do nothing — and returns the engine unchanged when
+// m <= 0 or no store is attached.
+func (c *CachedEngine) WithShard(i, m int) *CachedEngine {
+	if m <= 0 || c.cache == nil {
+		return c
+	}
+	cp := *c
+	cp.shardI, cp.shardM = i, m
+	return &cp
+}
+
+// Cache returns the attached store (nil when uncached).
+func (c *CachedEngine) Cache() *store.Store { return c.cache }
+
+// Priming reports whether the engine is a prime-only shard pass, in which
+// statically enumerable fan-outs skip folds and validation layered on fold
+// results (e.g. sweep injectivity checks) must be skipped by the caller.
+func (c *CachedEngine) Priming() bool { return c != nil && c.shardM > 0 }
+
+// Owns reports whether this engine's shard assignment owns the key: always
+// true in normal mode. Adaptive drivers (a search whose rounds depend on
+// prior results) use it to shard at a coarser granule — skip the whole
+// search cell when priming and another shard owns its key — since their
+// inner fan-outs cannot be partitioned.
+func (c *CachedEngine) Owns(key string) bool { return c.inShard(key) }
+
+// inShard reports whether this engine's prime pass owns the key.
+func (c *CachedEngine) inShard(key string) bool {
+	return c.shardM <= 0 || store.ShardOf(key, c.shardM) == c.shardI
+}
+
+// CachedMap is MapOrdered with a content-addressed memo in front: fn(i) is
+// executed only when key(i) misses the store, and its JSON-round-tripped
+// value feeds the fold otherwise. T must therefore be a pure value type
+// whose JSON encoding round-trips exactly (ints, strings, bools, float64s,
+// slices of those) — which also makes cached and executed folds
+// byte-identical. A key of "" marks the unit uncacheable: it is always
+// executed in normal mode and never executed by a prime pass (a keyless
+// unit cannot be assigned to a shard).
+//
+// In prime mode the fold is never called: the pass exists to fill the
+// store, and only this shard's missing keys are executed. Errors from fn
+// still abort — a prime pass surfaces real simulation failures.
+func CachedMap[T any](ce *CachedEngine, n int, key func(i int) string, fn func(i int) (T, error), fold func(i int, v T) error) error {
+	if ce.cache == nil {
+		return MapOrdered(ce.Engine, n, fn, fold)
+	}
+	if ce.Priming() {
+		return ce.Each(n, func(i int) error {
+			k := key(i)
+			if k == "" || !ce.inShard(k) || ce.cache.Has(k) {
+				return nil
+			}
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			store.PutJSON(ce.cache, k, v)
+			return nil
+		})
+	}
+	return MapOrdered(ce.Engine, n, func(i int) (T, error) {
+		k := key(i)
+		if k != "" {
+			if v, ok := store.GetJSON[T](ce.cache, k); ok {
+				return v, nil
+			}
+		}
+		v, err := fn(i)
+		if err == nil && k != "" {
+			store.PutJSON(ce.cache, k, v)
+		}
+		return v, err
+	}, fold)
+}
+
+// jobKeyParts is the canonical content of a Job key. Horizon is hashed as
+// given (0 and an explicit machine.DefaultHorizon(N) are conservatively
+// distinct keys).
+type jobKeyParts struct {
+	Op      string       `json:"op"`
+	Algo    string       `json:"algo"`
+	N       int          `json:"n"`
+	Sched   machine.Spec `json:"sched"`
+	Horizon int          `json:"horizon"`
+	Seed    int64        `json:"seed"`
+}
+
+// CacheKey returns the job's content address under the current
+// CacheVersion, with the scheduler spec canonicalized.
+func (j Job) CacheKey() string {
+	return store.Key(CacheVersion, jobKeyParts{
+		Op: "job", Algo: j.Algo, N: j.N, Sched: j.Sched.Canon(), Horizon: j.Horizon, Seed: j.Seed,
+	})
+}
+
+// jobPayload is the cached portion of a successful Result. Errors are never
+// cached: a failing job re-executes (and re-fails) on every run.
+type jobPayload struct {
+	Report cost.Report `json:"report"`
+}
+
+// Run is Engine.Run behind the store: each job's Report is served from
+// cache when present and written back after execution otherwise. Folds see
+// exactly the Results a bare engine would deliver. In prime mode only this
+// shard's missing keys execute and the fold is skipped.
+func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
+	if c.cache == nil {
+		return c.Engine.Run(jobs, fold)
+	}
+	if c.Priming() {
+		return c.Each(len(jobs), func(i int) error {
+			k := jobs[i].CacheKey()
+			if k == "" || !c.inShard(k) || c.cache.Has(k) {
+				return nil
+			}
+			r := Execute(jobs[i])
+			if r.Err != nil {
+				return r.Err
+			}
+			store.PutJSON(c.cache, k, jobPayload{Report: r.Report})
+			return nil
+		})
+	}
+	return MapOrdered(c.Engine, len(jobs), func(i int) (Result, error) {
+		k := jobs[i].CacheKey()
+		if p, ok := store.GetJSON[jobPayload](c.cache, k); ok {
+			return Result{Index: i, Job: jobs[i], Report: p.Report}, nil
+		}
+		r := Execute(jobs[i])
+		r.Index = i
+		if r.Err == nil {
+			store.PutJSON(c.cache, k, jobPayload{Report: r.Report})
+		}
+		return r, nil
+	}, func(i int, r Result) error {
+		return fold(r)
+	})
+}
+
+// scheduleKeyParts is the canonical content of a ScheduleJob key.
+// KeepDecisions is part of the key because it bounds the cached genome.
+type scheduleKeyParts struct {
+	Op      string       `json:"op"`
+	Algo    string       `json:"algo"`
+	N       int          `json:"n"`
+	Sched   machine.Spec `json:"sched"`
+	Horizon int          `json:"horizon"`
+	Keep    int          `json:"keep"`
+}
+
+// CacheKey returns the candidate's content address under the current
+// CacheVersion, with the scheduler spec canonicalized — so the same genome
+// re-proposed in a later search round (or another search sharing the store)
+// is a hit, not a simulation.
+func (j ScheduleJob) CacheKey() string {
+	return store.Key(CacheVersion, scheduleKeyParts{
+		Op: "sched", Algo: j.Algo, N: j.N, Sched: j.Sched.Canon(), Horizon: j.Horizon, Keep: j.KeepDecisions,
+	})
+}
+
+// schedulePayload is the cached portion of a ScheduleResult whose Err is
+// nil — including discarded candidates (truncated, stalled, or rejected by
+// the cost model), which cache as non-canonical zero-report entries so a
+// warm search re-discards them without re-simulating.
+type schedulePayload struct {
+	Report    cost.Report `json:"report"`
+	Canonical bool        `json:"canonical"`
+	Decisions []int       `json:"decisions"`
+}
+
+// RunSchedules is Engine.RunSchedules behind the store. It never shards:
+// schedule batches are generated adaptively (round r's candidates depend on
+// round r-1's fold), so a prime pass executes its misses like a normal run
+// — every shard caches identical entries for the same search, and the folds
+// run because the search itself needs them.
+func (c *CachedEngine) RunSchedules(jobs []ScheduleJob, fold func(ScheduleResult) error) error {
+	if c.cache == nil {
+		return c.Engine.RunSchedules(jobs, fold)
+	}
+	return MapOrdered(c.Engine, len(jobs), func(i int) (ScheduleResult, error) {
+		k := jobs[i].CacheKey()
+		if p, ok := store.GetJSON[schedulePayload](c.cache, k); ok {
+			return ScheduleResult{
+				Index: i, Job: jobs[i],
+				Report: p.Report, Canonical: p.Canonical, Decisions: p.Decisions,
+			}, nil
+		}
+		r := ExecuteSchedule(jobs[i])
+		r.Index = i
+		if r.Err == nil {
+			store.PutJSON(c.cache, k, schedulePayload{Report: r.Report, Canonical: r.Canonical, Decisions: r.Decisions})
+		}
+		return r, nil
+	}, func(i int, r ScheduleResult) error {
+		return fold(r)
+	})
+}

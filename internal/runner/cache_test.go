@@ -1,0 +1,207 @@
+package runner_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/runner"
+	"repro/internal/store"
+)
+
+func collectRun(t *testing.T, eng *runner.CachedEngine, jobs []runner.Job) []runner.Result {
+	t.Helper()
+	var out []runner.Result
+	if err := eng.Run(jobs, func(r runner.Result) error {
+		if r.Err != nil {
+			return r.Err
+		}
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func testJobs() []runner.Job {
+	var jobs []runner.Job
+	for _, n := range []int{3, 4, 5} {
+		jobs = append(jobs,
+			runner.Job{Algo: "yang-anderson", N: n, Sched: machine.RoundRobinSpec()},
+			runner.Job{Algo: "bakery", N: n, Sched: machine.RandomSpec(7)},
+		)
+	}
+	return jobs
+}
+
+// TestCachedRunWarmIsByteIdenticalAndExecutesNothing is the cache's core
+// contract: a warm run folds exactly the Results a cold run folded, and
+// performs zero simulations (every keyed lookup hits).
+func TestCachedRunWarmIsByteIdenticalAndExecutesNothing(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	jobs := testJobs()
+
+	plain := collectRun(t, runner.NewCached(runner.New(2), nil), jobs)
+	cold := collectRun(t, runner.NewCached(runner.New(2), st), jobs)
+	if !reflect.DeepEqual(plain, cold) {
+		t.Fatalf("cold cached run differs from uncached run:\n%+v\nvs\n%+v", cold, plain)
+	}
+	missesAfterCold := st.Stats().Misses
+	if missesAfterCold == 0 {
+		t.Fatal("cold run reported no misses — nothing was keyed")
+	}
+
+	for _, w := range []int{1, 4, 8} {
+		warm := collectRun(t, runner.NewCached(runner.New(w), st), jobs)
+		if !reflect.DeepEqual(warm, plain) {
+			t.Fatalf("warm run (workers=%d) differs from uncached run", w)
+		}
+	}
+	if got := st.Stats().Misses; got != missesAfterCold {
+		t.Fatalf("warm runs executed %d simulations (miss count %d -> %d), want zero",
+			got-missesAfterCold, missesAfterCold, got)
+	}
+}
+
+// TestCachedRunSchedulesWarm mirrors the contract for schedule candidates,
+// including the cached Decisions genome mutation search depends on.
+func TestCachedRunSchedulesWarm(t *testing.T) {
+	st := store.NewMemory(0)
+	jobs := []runner.ScheduleJob{
+		{Algo: "yang-anderson", N: 4, Sched: machine.PrefixGreedySpec([]int{0, 1, 2, 3, 2, 1}), KeepDecisions: 8},
+		{Algo: "peterson", N: 3, Sched: machine.GreedyCostSpec(), KeepDecisions: 4},
+		{Algo: "yang-anderson", N: 4, Sched: machine.SoloSpec([]int{0}), KeepDecisions: 8}, // stalls: discard, still cached
+	}
+	collect := func(eng *runner.CachedEngine) []runner.ScheduleResult {
+		var out []runner.ScheduleResult
+		if err := eng.RunSchedules(jobs, func(r runner.ScheduleResult) error {
+			if r.Err != nil {
+				return r.Err
+			}
+			out = append(out, r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain := collect(runner.NewCached(runner.New(2), nil))
+	cold := collect(runner.NewCached(runner.New(2), st))
+	missesAfterCold := st.Stats().Misses
+	warm := collect(runner.NewCached(runner.New(4), st))
+	if !reflect.DeepEqual(cold, plain) || !reflect.DeepEqual(warm, plain) {
+		t.Fatalf("cached schedule results diverge:\nplain %+v\ncold  %+v\nwarm  %+v", plain, cold, warm)
+	}
+	if got := st.Stats().Misses; got != missesAfterCold {
+		t.Fatal("warm schedule run re-simulated cached candidates")
+	}
+	if warm[2].Canonical {
+		t.Fatalf("stalling candidate must cache as non-canonical: %+v", warm[2])
+	}
+}
+
+// TestCachedMapShardsPartitionKeySpace checks the prime-pass semantics:
+// shards execute disjoint, collectively exhaustive subsets of the keyed
+// units, folds never run, and the merged stores replay the exact fold.
+func TestCachedMapShardsPartitionKeySpace(t *testing.T) {
+	const n = 40
+	key := func(i int) string { return store.Key(runner.CacheVersion, fmt.Sprintf("unit-%d", i)) }
+	fn := func(i int) (int, error) { return i * i, nil }
+
+	var base []int
+	if err := runner.CachedMap(runner.NewCached(runner.New(2), nil), n, key, fn, func(i, v int) error {
+		base = append(base, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const m = 3
+	dirs := make([]string, m)
+	executedTotal := 0
+	for s := 0; s < m; s++ {
+		dirs[s] = t.TempDir()
+		st, err := store.Open(dirs[s], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		executed := 0
+		eng := runner.NewCached(runner.New(2), st).WithShard(s, m)
+		if !eng.Priming() {
+			t.Fatal("WithShard engine must report Priming")
+		}
+		err = runner.CachedMap(eng, n, key, func(i int) (int, error) {
+			executed++
+			return fn(i)
+		}, func(i, v int) error {
+			t.Error("prime pass must not fold")
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if executed != st.Len() {
+			t.Fatalf("shard %d executed %d units but stored %d", s, executed, st.Len())
+		}
+		executedTotal += executed
+		st.Close()
+	}
+	if executedTotal != n {
+		t.Fatalf("shards executed %d units in total, want exactly %d (disjoint and exhaustive)", executedTotal, n)
+	}
+
+	merged, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if _, err := merged.Merge(dirs...); err != nil {
+		t.Fatal(err)
+	}
+	var replay []int
+	err = runner.CachedMap(runner.NewCached(runner.New(4), merged), n, key, func(i int) (int, error) {
+		return 0, fmt.Errorf("unit %d missed the merged store", i)
+	}, func(i, v int) error {
+		replay = append(replay, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replay, base) {
+		t.Fatalf("merged replay %v differs from direct run %v", replay, base)
+	}
+}
+
+// TestCachedMapKeylessUnitsAlwaysExecute pins the "" contract: uncacheable
+// units run in normal mode and are skipped by prime passes.
+func TestCachedMapKeylessUnitsAlwaysExecute(t *testing.T) {
+	st := store.NewMemory(0)
+	key := func(i int) string { return "" }
+	for round := 0; round < 2; round++ {
+		executed := 0
+		err := runner.CachedMap(runner.NewCached(runner.New(1), st), 5, key, func(i int) (int, error) {
+			executed++
+			return i, nil
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if executed != 5 {
+			t.Fatalf("round %d: executed %d keyless units, want 5", round, executed)
+		}
+	}
+	err := runner.CachedMap(runner.NewCached(runner.New(1), st).WithShard(0, 2), 5, key, func(i int) (int, error) {
+		t.Error("prime pass executed a keyless unit")
+		return 0, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

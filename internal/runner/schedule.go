@@ -37,7 +37,9 @@ type ScheduleResult struct {
 	// Job echoes the executed job.
 	Job ScheduleJob
 	// Report is the cost of whatever execution the schedule produced —
-	// complete or truncated. Only meaningful when Err is nil.
+	// complete or truncated. Only meaningful when Err is nil; zero when a
+	// non-canonical trace was rejected by the cost model (such candidates
+	// are discards, not errors).
 	Report cost.Report
 	// Canonical is true when the run completed a canonical execution:
 	// every process halted after exactly one critical-section cycle.
@@ -98,7 +100,21 @@ func ExecuteSchedule(j ScheduleJob) ScheduleResult {
 			res.Decisions[i] = exec[i].Proc
 		}
 	}
-	res.Report, res.Err = cost.Measure(f, exec)
+	rep, err := cost.Measure(f, exec)
+	if err != nil {
+		if res.Canonical {
+			// A canonical execution the cost model rejects is a defect.
+			res.Err = err
+			return res
+		}
+		// A truncated or otherwise non-canonical trace the cost model
+		// rejects is a discard, not a defect: the candidate was already
+		// unscorable, and one bad candidate must never abort a whole search
+		// batch. Report stays zero and Canonical stays false, so folds
+		// discard it exactly like any other incomplete run.
+		return res
+	}
+	res.Report = rep
 	return res
 }
 

@@ -1,0 +1,46 @@
+package store
+
+import "container/list"
+
+// lruCache is the in-memory front tier: a fixed-capacity map + recency list
+// holding decoded values for the hot working set. Not safe for concurrent
+// use; Store serializes access under its mutex.
+type lruCache struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key string, val []byte) {
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ndjsonName is the data file inside a store directory.
+const ndjsonName = "results.ndjson"
+
+// record is the wire form of one entry: one JSON object per line, the value
+// embedded as raw JSON so the file stays greppable and mergeable with
+// standard tools.
+type record struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// span locates one record line inside the data file.
+type span struct {
+	off int64
+	len int64
+}
+
+// NDJSON is the file Backend: an append-only newline-delimited JSON log
+// with an in-memory key→offset index, so only the index lives in RAM and
+// values are read on demand (the LRU tier above absorbs re-reads). Appends
+// are serialized under a mutex; reads use ReadAt and need no lock on the
+// file. One process owns a directory at a time — concurrent *processes*
+// should prime separate directories (sharding) and Merge them.
+//
+// Robustness: a line that does not parse — a torn final append after a
+// crash, hand-editing, version skew — is skipped at open and counted as
+// corrupt on read; it can only cause a re-execution, never a wrong result.
+type NDJSON struct {
+	mu   sync.Mutex
+	f    *os.File
+	idx  map[string]span
+	size int64
+}
+
+// OpenNDJSON opens (creating if necessary) the NDJSON backend in dir.
+func OpenNDJSON(dir string) (*NDJSON, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, ndjsonName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	b := &NDJSON{f: f, idx: make(map[string]span)}
+	if err := b.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// load scans the data file and rebuilds the index. Later records win, so an
+// overwrite (or a merge of overlapping shards) resolves to the last append.
+// Unparseable lines and a truncated trailing line are skipped.
+func (b *NDJSON) load() error {
+	r := bufio.NewReaderSize(b.f, 1<<20)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A record is only valid once its newline landed; a torn tail is
+			// ignored and overwritten by the next append.
+			b.size = off
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: reading %s: %w", b.f.Name(), err)
+		}
+		n := int64(len(line))
+		var rec record
+		if jerr := json.Unmarshal(line, &rec); jerr == nil && rec.K != "" {
+			b.idx[rec.K] = span{off: off, len: n}
+		}
+		off += n
+	}
+}
+
+// Get implements Backend.
+func (b *NDJSON) Get(key string) ([]byte, bool, error) {
+	b.mu.Lock()
+	sp, ok := b.idx[key]
+	b.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	buf := make([]byte, sp.len)
+	if _, err := b.f.ReadAt(buf, sp.off); err != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil || rec.K != key {
+		return nil, false, fmt.Errorf("store: corrupt entry for %s", key)
+	}
+	return rec.V, true, nil
+}
+
+// Has implements Backend.
+func (b *NDJSON) Has(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.idx[key]
+	return ok
+}
+
+// Put implements Backend.
+func (b *NDJSON) Put(key string, val []byte) error {
+	line, err := json.Marshal(record{K: key, V: json.RawMessage(val)})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.f.WriteAt(line, b.size); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	b.idx[key] = span{off: b.size, len: int64(len(line))}
+	b.size += int64(len(line))
+	return nil
+}
+
+// ForEach implements Backend, visiting entries in unspecified order.
+func (b *NDJSON) ForEach(fn func(key string, val []byte) error) error {
+	b.mu.Lock()
+	keys := make([]string, 0, len(b.idx))
+	for k := range b.idx {
+		keys = append(keys, k)
+	}
+	b.mu.Unlock()
+	for _, k := range keys {
+		v, ok, err := b.Get(k)
+		if err != nil || !ok {
+			continue // corrupt entries are misses everywhere, merges included
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len implements Backend.
+func (b *NDJSON) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.idx)
+}
+
+// Close implements Backend.
+func (b *NDJSON) Close() error { return b.f.Close() }

@@ -1,0 +1,322 @@
+// Package store is a content-addressed result store for the deterministic
+// simulation jobs of internal/runner: pure job values in, their measured
+// results out, keyed by a canonical hash of the job plus a code-version
+// salt. It is what makes re-runs incremental (a warm cache re-simulates
+// nothing), searches memoized (duplicate candidate genomes are free), and
+// sweeps shardable across processes (each process primes its slice of the
+// key space into its own store; Merge folds the shards back together).
+//
+// Architecture: a Store is an in-memory LRU tier in front of a Backend.
+// The LRU holds decoded values for the hot working set; the Backend is the
+// durable tier — the shipped implementation appends NDJSON records to a
+// file and keeps only a key→offset index in memory, so a store can hold far
+// more results than RAM. The Backend interface is deliberately tiny so
+// later scale steps can add remote or multi-backend sinks without touching
+// any caller.
+//
+// Failure discipline: a cache can only ever cost a re-computation, never an
+// answer. Corrupt or unreadable entries are misses (counted in
+// Stats.Corrupt), and write failures degrade the store to memory-only
+// (counted in Stats.PutErrors); no cache pathology is ever surfaced as an
+// error to the simulation. Staleness is impossible by construction: every
+// key is derived from a code-version salt (runner.CacheVersion), so results
+// written by an older simulation semantics live under keys a newer binary
+// never asks for.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend is the durable tier behind a Store. Implementations must be safe
+// for concurrent use by multiple goroutines of one process. (Multiple
+// processes should not share one backend; give each shard its own directory
+// and fold them together with Merge.)
+type Backend interface {
+	// Get returns the stored value for key. ok is false on any miss,
+	// including corrupt or unreadable entries; err is reserved for
+	// infrastructure failures worth counting, which are still misses.
+	Get(key string) (val []byte, ok bool, err error)
+	// Put durably stores val under key, overwriting any previous value.
+	Put(key string, val []byte) error
+	// Has reports whether key is present, without reading the value.
+	Has(key string) bool
+	// ForEach visits every stored entry (used by Merge).
+	ForEach(fn func(key string, val []byte) error) error
+	// Len returns the number of stored entries.
+	Len() int
+	// Close releases the backend's resources.
+	Close() error
+}
+
+// Stats counts a Store's traffic. A hit means a result was served without
+// re-execution; every miss corresponds to one execution the caller had to
+// perform. Corrupt counts entries that existed but could not be decoded
+// (served as misses); PutErrors counts failed durable writes (the value
+// stays available in the LRU tier).
+type Stats struct {
+	Hits, Misses, Puts, Corrupt, PutErrors int64
+}
+
+// String renders the stats on one line (the form the CLIs print to stderr
+// and CI greps: a warm run must report misses=0).
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d stored=%d corrupt=%d putErrors=%d",
+		s.Hits, s.Misses, s.Puts, s.Corrupt, s.PutErrors)
+}
+
+// Store is the two-tier content-addressed result store. Safe for concurrent
+// use from a worker pool.
+type Store struct {
+	mu  sync.Mutex
+	lru *lruCache
+	be  Backend // nil for a memory-only store
+
+	hits, misses, puts, corrupt, putErrors atomic.Int64
+}
+
+// DefaultLRUEntries is the LRU tier's capacity when the caller passes 0.
+const DefaultLRUEntries = 1 << 16
+
+// New assembles a store from an LRU capacity (entries; 0 selects
+// DefaultLRUEntries) and an optional backend (nil for memory-only).
+func New(lruEntries int, be Backend) *Store {
+	if lruEntries <= 0 {
+		lruEntries = DefaultLRUEntries
+	}
+	return &Store{lru: newLRU(lruEntries), be: be}
+}
+
+// Open opens (creating if necessary) the NDJSON-backed store in dir.
+func Open(dir string, lruEntries int) (*Store, error) {
+	be, err := OpenNDJSON(dir)
+	if err != nil {
+		return nil, err
+	}
+	return New(lruEntries, be), nil
+}
+
+// NewMemory returns a backend-less store: pure in-process memoization,
+// bounded by the LRU capacity.
+func NewMemory(lruEntries int) *Store { return New(lruEntries, nil) }
+
+// Get returns the value stored under key. Any failure to produce a decoded
+// value — absent key, corrupt entry, unreadable backend — is a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil || key == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	v, ok := s.lru.get(key)
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return v, true
+	}
+	if s.be != nil {
+		v, ok, err := s.be.Get(key)
+		if err != nil {
+			s.corrupt.Add(1)
+		}
+		if ok {
+			s.mu.Lock()
+			s.lru.put(key, v)
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return v, true
+		}
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+// Has reports whether key is present in either tier, without counting a hit
+// or a miss (used by prime passes to decide what still needs executing).
+func (s *Store) Has(key string) bool {
+	if s == nil || key == "" {
+		return false
+	}
+	s.mu.Lock()
+	_, ok := s.lru.get(key)
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	return s.be != nil && s.be.Has(key)
+}
+
+// Put stores val under key in both tiers. Durable-write failures are
+// counted and otherwise ignored: the store degrades to memory-only rather
+// than failing the computation that produced the value.
+func (s *Store) Put(key string, val []byte) {
+	if s == nil || key == "" {
+		return
+	}
+	s.mu.Lock()
+	s.lru.put(key, val)
+	s.mu.Unlock()
+	s.puts.Add(1)
+	if s.be != nil {
+		if err := s.be.Put(key, val); err != nil {
+			s.putErrors.Add(1)
+		}
+	}
+}
+
+// Len returns the number of durable entries (LRU-only for memory stores).
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	if s.be != nil {
+		return s.be.Len()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.len()
+}
+
+// Stats returns a snapshot of the store's traffic counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Corrupt:   s.corrupt.Load(),
+		PutErrors: s.putErrors.Load(),
+	}
+}
+
+// Close closes the backend, if any.
+func (s *Store) Close() error {
+	if s == nil || s.be == nil {
+		return nil
+	}
+	return s.be.Close()
+}
+
+// Merge folds every entry of the NDJSON stores in dirs into s (the shard
+// fold: m processes prime disjoint key slices into their own directories,
+// then one process merges them and replays the whole sweep from cache).
+// Keys already present in s are kept as-is — entries are content-addressed,
+// so a duplicate key carries an identical value. Returns the number of
+// entries added.
+func (s *Store) Merge(dirs ...string) (int, error) {
+	added := 0
+	for _, dir := range dirs {
+		src, err := OpenNDJSON(dir)
+		if err != nil {
+			return added, fmt.Errorf("store: merge %s: %w", dir, err)
+		}
+		err = src.ForEach(func(key string, val []byte) error {
+			if s.Has(key) {
+				return nil
+			}
+			s.Put(key, val)
+			added++
+			return nil
+		})
+		src.Close()
+		if err != nil {
+			return added, fmt.Errorf("store: merge %s: %w", dir, err)
+		}
+	}
+	return added, nil
+}
+
+// Key returns the content address of a cacheable unit: the hex SHA-256 of
+// the code-version salt and the canonical JSON encoding of v. Callers pass
+// pure value types (structs of strings, ints and slices — never maps or
+// pointers to mutable state), whose JSON encoding is deterministic, so the
+// same logical job always lands on the same key in every process. An
+// unencodable v returns "", which every consumer treats as "uncacheable".
+func Key(salt string, v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return ""
+	}
+	h := sha256.New()
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ParseShard parses the CLI shard notation "i/m" (1-based i, e.g. "2/3")
+// into a 0-based shard index and shard count. The whole string must be
+// consumed — "1/2x" or "1/2/3" are rejected, not silently truncated, so a
+// typoed split fails loudly instead of mispriming the key space.
+func ParseShard(s string) (index, count int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("store: bad shard %q: want i/m, e.g. 1/3", s)
+	}
+	i, err1 := strconv.Atoi(a)
+	m, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("store: bad shard %q: want i/m, e.g. 1/3", s)
+	}
+	if m < 1 || i < 1 || i > m {
+		return 0, 0, fmt.Errorf("store: bad shard %q: need 1 <= i <= m", s)
+	}
+	return i - 1, m, nil
+}
+
+// ShardOf deterministically assigns a key to one of m shards (0-based) by
+// its leading hash bits: the key-space partition that lets m processes or
+// CI jobs split one sweep and later Merge their stores into the whole.
+func ShardOf(key string, m int) int {
+	if m <= 1 {
+		return 0
+	}
+	var v uint32
+	for i := 0; i < 8 && i < len(key); i++ {
+		v <<= 4
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v |= uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= uint32(c-'a') + 10
+		}
+	}
+	return int(v % uint32(m))
+}
+
+// GetJSON fetches and decodes the value stored under key. Decode failures
+// are corrupt entries: counted, reported as a miss, never an error.
+func GetJSON[T any](s *Store, key string) (T, bool) {
+	var v T
+	b, ok := s.Get(key)
+	if !ok {
+		return v, false
+	}
+	if err := json.Unmarshal(b, &v); err != nil {
+		s.corrupt.Add(1)
+		s.hits.Add(-1) // reclassify: the raw bytes hit, the value did not
+		s.misses.Add(1)
+		var zero T
+		return zero, false
+	}
+	return v, true
+}
+
+// PutJSON encodes v and stores it under key. Unencodable values are
+// dropped (the job simply stays uncached).
+func PutJSON[T any](s *Store, key string, v T) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	s.Put(key, b)
+}
