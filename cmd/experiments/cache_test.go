@@ -3,7 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
-	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -65,22 +65,11 @@ func TestJSONByteIdenticalColdWarmShardedMerged(t *testing.T) {
 			}
 		}
 		mergeDir := t.TempDir()
-		merged := runArgs(t, "-cache", mergeDir, "-merge", joinCSV(dirs), "-parallel", "8")
+		merged := runArgs(t, "-cache", mergeDir, "-merge", strings.Join(dirs, ","), "-parallel", "8")
 		if !bytes.Equal(merged, cold) {
 			t.Fatalf("sharded(%d)-then-merged output differs from cold run:\n%s\nvs\n%s", m, merged, cold)
 		}
 	}
-}
-
-func joinCSV(dirs []string) string {
-	out := ""
-	for i, d := range dirs {
-		if i > 0 {
-			out += ","
-		}
-		out += filepath.Clean(d)
-	}
-	return out
 }
 
 // TestOnlyFailsLoudly pins the -only contract: unknown and duplicate

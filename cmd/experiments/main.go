@@ -24,6 +24,20 @@
 //	                                     # replay the whole suite from cache,
 //	                                     # producing the canonical table
 //
+// Fleet-shared caching (see README "The remote store"): -store mounts a
+// stored service (cmd/stored) as the result store, so any number of
+// processes on any number of machines share one authoritative cache:
+//
+//	experiments -store http://ci-store:9200          # read+write the fleet store
+//	experiments -store URL -shard 1/3                # prime shard 1 against it
+//	                                                 # (run one process per shard,
+//	                                                 # anywhere on the fleet)
+//	experiments -cache DIR -store URL                # DIR as a local near tier:
+//	                                                 # each key is fetched from
+//	                                                 # the fleet store once, ever
+//	experiments -cache DIR -store URL -merge D1,D2   # push local shard stores
+//	                                                 # up to the fleet store
+//
 // Tables go to stdout; timing, cache statistics and diagnostics go to
 // stderr, so stdout is byte-identical across cold, warm, and
 // sharded-then-merged runs at any -parallel setting.
@@ -40,7 +54,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/store"
+	"repro/internal/remote"
 )
 
 func main() {
@@ -73,8 +87,9 @@ func run(args []string, w io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
 		asJSON   = fs.Bool("json", false, "emit each table as a JSON object instead of aligned text")
 		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
-		shardArg = fs.String("shard", "", "i/m: prime only shard i of m's keys into -cache and print no tables")
-		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into -cache before running")
+		storeURL = fs.String("store", "", "remote result-store URL (a stored service, e.g. http://127.0.0.1:9200); with -cache, the directory becomes a local near tier")
+		shardArg = fs.String("shard", "", "i/m: prime only shard i of m's keys into the store and print no tables")
+		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -107,48 +122,17 @@ func run(args []string, w io.Writer) error {
 		selected[id] = true
 	}
 
-	var st *store.Store
-	if *cacheDir != "" {
-		var err error
-		if st, err = store.Open(*cacheDir, 0); err != nil {
-			return err
-		}
-		defer st.Close()
+	cli, err := remote.MountFlags(os.Stderr, "experiments", *cacheDir, *storeURL, *shardArg, *mergeArg)
+	if err != nil {
+		return err
 	}
-	if *mergeArg != "" {
-		if st == nil {
-			return fmt.Errorf("-merge requires -cache")
-		}
-		if *shardArg != "" {
-			return fmt.Errorf("-merge and -shard are mutually exclusive (merge replays the full suite)")
-		}
-		var dirs []string
-		for _, d := range strings.Split(*mergeArg, ",") {
-			if d = strings.TrimSpace(d); d != "" {
-				dirs = append(dirs, d)
-			}
-		}
-		added, err := st.Merge(dirs...)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "experiments: merged %d entries from %d store(s)\n", added, len(dirs))
-	}
-	shardI, shardM := 0, 0
-	if *shardArg != "" {
-		if st == nil {
-			return fmt.Errorf("-shard requires -cache")
-		}
-		var err error
-		if shardI, shardM, err = store.ParseShard(*shardArg); err != nil {
-			return err
-		}
-	}
-	priming := shardM > 0
+	defer cli.Close()
+	shardI, shardM := cli.ShardI, cli.ShardM
+	priming := cli.Priming()
 
 	cfg := experiments.Config{
 		Quick: *quick, Seed: *seed, Workers: *parallel,
-		Cache: st, Shard: shardI, Shards: shardM,
+		Cache: cli.Store, Shard: shardI, Shards: shardM,
 	}
 	enc := json.NewEncoder(w)
 	failures := 0
@@ -185,9 +169,7 @@ func run(args []string, w io.Writer) error {
 			failures++
 		}
 	}
-	if st != nil {
-		fmt.Fprintf(os.Stderr, "experiments: cache %s (%d entries)\n", st.Stats(), st.Len())
-	}
+	cli.PrintStats(os.Stderr, "experiments")
 	if priming {
 		return nil
 	}

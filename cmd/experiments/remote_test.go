@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/remote"
+	"repro/internal/store"
+)
+
+// TestRemoteStoreFleetByteIdentical is the acceptance matrix for the
+// fleet-shared store at the binary level: two concurrent clients prime
+// disjoint shards against one stored service, after which replays through
+// the remote store are byte-identical to a cold local sequential run at
+// workers 1, 4 and 8 — and a warm re-run executes zero simulations, pinned
+// here as "the server saw zero additional writes and holds zero additional
+// entries".
+func TestRemoteStoreFleetByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet determinism matrix skipped in -short mode")
+	}
+	cold := runArgs(t, "-parallel", "1")
+
+	authoritative, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer authoritative.Close()
+	srv := remote.NewServer(authoritative)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two concurrent worker processes, each priming its shard of the key
+	// space into the shared store. (Within this test they are goroutines
+	// driving the full binary entrypoint; the CI smoke job runs the same
+	// flow as two OS processes.)
+	var wg sync.WaitGroup
+	shardOut := make([]bytes.Buffer, 2)
+	shardErr := make([]error, 2)
+	for i := range shardOut {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shardErr[i] = run([]string{
+				"-quick", "-only", cacheTestOnly, "-json",
+				"-store", ts.URL, "-shard", fmt.Sprintf("%d/2", i+1), "-parallel", "4",
+			}, &shardOut[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range shardErr {
+		if shardErr[i] != nil {
+			t.Fatalf("shard %d/2: %v", i+1, shardErr[i])
+		}
+		if shardOut[i].Len() != 0 {
+			t.Fatalf("shard %d/2 wrote %d bytes to the data stream, want none", i+1, shardOut[i].Len())
+		}
+	}
+	if got := srv.Conflicts(); got != 0 {
+		t.Fatalf("content-addressed writers conflicted %d times", got)
+	}
+
+	// Replays through the shared store: byte-identical to the cold local
+	// run at every worker count.
+	for _, w := range []int{1, 4, 8} {
+		if got := runArgs(t, "-store", ts.URL, "-parallel", fmt.Sprint(w)); !bytes.Equal(got, cold) {
+			t.Fatalf("fleet replay at -parallel %d differs from cold local run:\n%s\nvs\n%s", w, got, cold)
+		}
+	}
+
+	// Warm re-runs over the remote store execute zero simulations: every
+	// result a simulation would produce is already served, so the server
+	// sees no new writes and stores no new entries.
+	entries := authoritative.Len()
+	req := srv.Requests()
+	if got := runArgs(t, "-store", ts.URL, "-parallel", "4"); !bytes.Equal(got, cold) {
+		t.Fatal("warm fleet re-run diverged")
+	}
+	reqAfter := srv.Requests()
+	if reqAfter.Put != req.Put || reqAfter.MPut != req.MPut {
+		t.Fatalf("warm re-run wrote to the store (put %d→%d, mput %d→%d): simulations executed",
+			req.Put, reqAfter.Put, req.MPut, reqAfter.MPut)
+	}
+	if got := authoritative.Len(); got != entries {
+		t.Fatalf("warm re-run grew the store %d→%d entries", entries, got)
+	}
+
+	// -cache composes with -store as a local near tier: the first tiered
+	// run pulls each key down once; a second tiered run does not consult
+	// the fleet store at all.
+	nearDir := t.TempDir()
+	if got := runArgs(t, "-cache", nearDir, "-store", ts.URL, "-parallel", "4"); !bytes.Equal(got, cold) {
+		t.Fatal("tiered replay diverged")
+	}
+	req = srv.Requests()
+	if got := runArgs(t, "-cache", nearDir, "-store", ts.URL, "-parallel", "4"); !bytes.Equal(got, cold) {
+		t.Fatal("near-tier replay diverged")
+	}
+	reqAfter = srv.Requests()
+	if reqAfter.Get != req.Get || reqAfter.MGet != req.MGet {
+		t.Fatalf("near-tier replay still consulted the fleet store (get %d→%d, mget %d→%d)",
+			req.Get, reqAfter.Get, req.MGet, reqAfter.MGet)
+	}
+}
+
+// TestStoreFlagValidation pins the -store flag's loud failure modes: a
+// malformed URL and an unreachable server are startup errors, not silently
+// cold caches.
+func TestStoreFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-store", "not a url", "-only", "E2"}, &buf); err == nil {
+		t.Fatal("malformed -store URL accepted")
+	}
+	if err := run([]string{"-store", "http://127.0.0.1:1", "-only", "E2"}, &buf); err == nil {
+		t.Fatal("unreachable -store URL accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("error paths wrote to the data stream: %q", buf.String())
+	}
+}

@@ -1,0 +1,123 @@
+// Command stored serves one authoritative content-addressed result store
+// over HTTP, so any number of worker processes — CI shards, tournament
+// searchers, laptop runs — share a single cache instead of priming private
+// directories and merging after the fact. The protocol is documented in
+// internal/remote; clients mount the store with the `-store URL` flag of
+// cmd/experiments and cmd/tournament.
+//
+// Usage:
+//
+//	stored -dir /var/result-store                  # serve on 127.0.0.1:9200
+//	stored -dir DIR -addr 0.0.0.0:9200             # fleet-reachable
+//	stored -compact DIR                            # maintenance: rewrite the
+//	                                               # NDJSON log dropping dead
+//	                                               # records, then exit
+//
+// The first stdout line is "stored: listening on http://ADDR" (with the
+// resolved port when -addr ends in :0), so scripts can scrape the address.
+// SIGINT/SIGTERM drain the listener and close the store cleanly. A running
+// server can also be compacted in place via POST /v1/compact.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/remote"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stored:", err)
+		os.Exit(1)
+	}
+}
+
+// testShutdown, when non-nil, substitutes for process signals so tests can
+// stop a serving run.
+var testShutdown chan struct{}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stored", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:9200", "listen address")
+		dir        = fs.String("dir", "", "store directory (created if missing)")
+		lruEntries = fs.Int("lru", 0, "LRU tier capacity in entries; 0 = default")
+		compactDir = fs.String("compact", "", "maintenance mode: compact the store in DIR and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	if *compactDir != "" {
+		if *dir != "" {
+			return fmt.Errorf("-compact is a maintenance mode; it does not combine with -dir")
+		}
+		st, err := store.Open(*compactDir, *lruEntries)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		kept, dropped, err := st.Compact()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "stored: compacted %s: kept=%d dropped=%d\n", *compactDir, kept, dropped)
+		return nil
+	}
+
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("-dir is required (or -compact DIR for maintenance)")
+	}
+	st, err := store.Open(*dir, *lruEntries)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "stored: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(w, "stored: serving %s (%d entries)\n", *dir, st.Len())
+
+	srv := &http.Server{Handler: remote.NewServer(st)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	case <-testShutdown:
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "stored: drained, %d entries stored\n", st.Len())
+	return nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/remote"
+	"repro/internal/store"
+)
+
+// syncBuffer lets the test read run's output while run is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing -dir accepted")
+	}
+	if err := run([]string{"-dir", t.TempDir(), "-compact", t.TempDir()}, &buf); err == nil {
+		t.Fatal("-dir combined with -compact accepted")
+	}
+	if err := run([]string{"-dir", t.TempDir(), "stray"}, &buf); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	if err := run([]string{"-addr", "not-an-address", "-dir", t.TempDir()}, &buf); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestCompactMaintenanceMode pins the offline maintenance flag: it rewrites
+// the log in place, reports the reclaim, and exits.
+func TestCompactMaintenanceMode(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.Key("v1", "unit")
+	for i := 0; i < 4; i++ {
+		store.PutJSON(st, k, 9)
+	}
+	st.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-compact", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := "kept=1 dropped=3"; !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Fatalf("compact report %q does not contain %q", buf.String(), want)
+	}
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if v, ok := store.GetJSON[int](st2, k); !ok || v != 9 || st2.Len() != 1 {
+		t.Fatalf("after maintenance compact: v=%d ok=%v len=%d", v, ok, st2.Len())
+	}
+}
+
+// TestServeScrapeableAddressAndCleanShutdown boots the real binary path on
+// an ephemeral port, scrapes the advertised address the way a script
+// would, talks the protocol through a real client, and shuts down cleanly.
+func TestServeScrapeableAddressAndCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	testShutdown = make(chan struct{})
+	defer func() { testShutdown = nil }()
+
+	var buf syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-dir", dir}, &buf) }()
+
+	addrRE := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	var url string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(5 * time.Millisecond) {
+		if m := addrRE.FindStringSubmatch(buf.String()); m != nil {
+			url = m[1]
+			break
+		}
+	}
+	if url == "" {
+		t.Fatalf("no scrapeable address in output: %q", buf.String())
+	}
+
+	cl, err := remote.NewClient(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	k := store.Key("v1", "served")
+	if err := cl.Put(k, []byte(`{"sc":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get(k); !ok || err != nil || string(v) != `{"sc":1}` {
+		t.Fatalf("round trip through stored: %q ok=%v err=%v", v, ok, err)
+	}
+
+	close(testShutdown)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clean shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stored did not shut down")
+	}
+
+	// Durability across the service lifecycle: a fresh serve finds the entry.
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if v, ok := st.Get(k); !ok || string(v) != `{"sc":1}` {
+		t.Fatalf("entry lost across shutdown: %q ok=%v", v, ok)
+	}
+}

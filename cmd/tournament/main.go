@@ -22,6 +22,14 @@
 //	tournament -cache DIR -merge D1,D2,D3
 //	                                   # fold shard stores into DIR and replay
 //	                                   # the full grid from cache
+//
+// Fleet-shared caching (see README "The remote store"):
+//
+//	tournament -store http://ci-store:9200       # share one authoritative
+//	                                             # store across processes
+//	tournament -store URL -shard 1/3             # search only shard 1's cells,
+//	                                             # caching into the fleet store
+//	tournament -cache DIR -store URL             # DIR as a local near tier
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/perm"
+	"repro/internal/remote"
 	"repro/internal/runner"
 	"repro/internal/store"
 )
@@ -75,8 +84,9 @@ func run(args []string, w io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
 		ndjson   = fs.Bool("ndjson", false, "emit the summary as NDJSON rows instead of an aligned table")
 		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
-		shardArg = fs.String("shard", "", "i/m: run only shard i of m's (algo, n) cells into -cache, no stdout")
-		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into -cache before running")
+		storeURL = fs.String("store", "", "remote result-store URL (a stored service, e.g. http://127.0.0.1:9200); with -cache, the directory becomes a local near tier")
+		shardArg = fs.String("shard", "", "i/m: run only shard i of m's (algo, n) cells into the store, no stdout")
+		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,39 +95,13 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	var st *store.Store
-	if *cacheDir != "" {
-		var err error
-		if st, err = store.Open(*cacheDir, 0); err != nil {
-			return err
-		}
-		defer st.Close()
+	cli, err := remote.MountFlags(os.Stderr, "tournament", *cacheDir, *storeURL, *shardArg, *mergeArg)
+	if err != nil {
+		return err
 	}
-	if *mergeArg != "" {
-		if st == nil {
-			return fmt.Errorf("-merge requires -cache")
-		}
-		if *shardArg != "" {
-			return fmt.Errorf("-merge and -shard are mutually exclusive (merge replays the full grid)")
-		}
-		dirs := splitCSV(*mergeArg)
-		added, err := st.Merge(dirs...)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "tournament: merged %d entries from %d store(s)\n", added, len(dirs))
-	}
-	shardI, shardM := 0, 0
-	if *shardArg != "" {
-		if st == nil {
-			return fmt.Errorf("-shard requires -cache")
-		}
-		var err error
-		if shardI, shardM, err = store.ParseShard(*shardArg); err != nil {
-			return err
-		}
-	}
-	priming := shardM > 0
+	defer cli.Close()
+	eng := runner.NewCached(runner.New(*parallel), cli.Store).WithShard(cli.ShardI, cli.ShardM)
+	priming := eng.Priming()
 
 	algos := splitCSV(*algosCSV)
 	if len(algos) == 0 {
@@ -145,7 +129,6 @@ func run(args []string, w io.Writer) error {
 	}
 	search.Seed = *seed
 
-	eng := runner.NewCached(runner.New(*parallel), st)
 	enc := json.NewEncoder(w)
 	var summaries []row
 	for _, algo := range algos {
@@ -162,7 +145,7 @@ func run(args []string, w io.Writer) error {
 					Seed  int64  `json:"seed"`
 					Quick bool   `json:"quick"`
 				}{"cell", algo, n, *seed, *quick})
-				if store.ShardOf(cellKey, shardM) != shardI {
+				if !eng.Owns(cellKey) {
 					continue
 				}
 			}
@@ -207,9 +190,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	if st != nil {
-		fmt.Fprintf(os.Stderr, "tournament: cache %s (%d entries)\n", st.Stats(), st.Len())
-	}
+	cli.PrintStats(os.Stderr, "tournament")
 	if priming {
 		return nil
 	}

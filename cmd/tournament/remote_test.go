@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/remote"
+	"repro/internal/store"
+)
+
+// TestRemoteStoreFleetTournament is the fleet-store acceptance at the
+// tournament level: concurrent shard searches against one stored service,
+// then a replay through the shared store that reproduces the cold NDJSON
+// stream byte for byte without executing a simulation — and a push-merge
+// of a local shard directory up to the fleet store.
+func TestRemoteStoreFleetTournament(t *testing.T) {
+	grid := []string{"-quick", "-algos", "yang-anderson,peterson", "-ns", "4,5", "-ndjson"}
+	withGrid := func(extra ...string) []string { return append(grid[:len(grid):len(grid)], extra...) }
+
+	var cold bytes.Buffer
+	if err := run(withGrid("-parallel", "1"), &cold); err != nil {
+		t.Fatal(err)
+	}
+
+	authoritative, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer authoritative.Close()
+	srv := remote.NewServer(authoritative)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two concurrent shard searchers share the store; cells are partitioned
+	// at the (algo, n) granule so neither prints to the data stream.
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, 2)
+	errs := make([]error, 2)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = run(withGrid("-store", ts.URL, "-shard", fmt.Sprintf("%d/2", i+1), "-parallel", "4"), &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("shard %d/2: %v", i+1, errs[i])
+		}
+		if outs[i].Len() != 0 {
+			t.Fatalf("shard %d/2 wrote to the data stream: %q", i+1, outs[i].String())
+		}
+	}
+	if srv.Conflicts() != 0 {
+		t.Fatalf("conflicts=%d, want 0", srv.Conflicts())
+	}
+
+	entries := authoritative.Len()
+	req := srv.Requests()
+	var replay bytes.Buffer
+	if err := run(withGrid("-store", ts.URL, "-parallel", "8"), &replay); err != nil {
+		t.Fatal(err)
+	}
+	if replay.String() != cold.String() {
+		t.Fatalf("fleet replay differs from cold:\n%s\nvs\n%s", replay.String(), cold.String())
+	}
+	reqAfter := srv.Requests()
+	if reqAfter.Put != req.Put || reqAfter.MPut != req.MPut || authoritative.Len() != entries {
+		t.Fatalf("warm fleet replay wrote to the store: put %d→%d mput %d→%d entries %d→%d",
+			req.Put, reqAfter.Put, req.MPut, reqAfter.MPut, entries, authoritative.Len())
+	}
+
+	// Push-merge: a locally primed shard directory folds up into a fresh
+	// fleet store through the batched put path, and the replay matches.
+	localDir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(withGrid("-cache", localDir, "-parallel", "4"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	ts2 := httptest.NewServer(remote.NewServer(fresh))
+	defer ts2.Close()
+	var pushed bytes.Buffer
+	if err := run(withGrid("-store", ts2.URL, "-merge", localDir, "-parallel", "4"), &pushed); err != nil {
+		t.Fatal(err)
+	}
+	if pushed.String() != cold.String() {
+		t.Fatalf("push-merged replay differs from cold:\n%s\nvs\n%s", pushed.String(), cold.String())
+	}
+	if fresh.Len() == 0 {
+		t.Fatal("push-merge stored nothing in the fleet store")
+	}
+}
+
+// TestTournamentStoreFlagValidation pins -store's loud failure modes.
+func TestTournamentStoreFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-store", "not a url"}, &buf); err == nil {
+		t.Fatal("malformed -store URL accepted")
+	}
+	if err := run([]string{"-store", "http://127.0.0.1:1"}, &buf); err == nil {
+		t.Fatal("unreachable -store URL accepted")
+	}
+	if err := run([]string{"-store", "http://127.0.0.1:1", "-merge", "x"}, &buf); err == nil {
+		t.Fatal("unreachable -store with -merge accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("error paths wrote to the data stream: %q", buf.String())
+	}
+}

@@ -1,0 +1,439 @@
+package remote
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// ErrNotEnumerable is returned by Client.ForEach: a fleet store is not
+// enumerated over the wire. Merge flows the other way — local shard
+// directories are pushed up with Store.Merge through the batched put path.
+var ErrNotEnumerable = errors.New("remote: store is not enumerable over the wire; merge local directories into it instead")
+
+// DefaultRetries is the per-request retry budget on transport errors and
+// 5xx responses.
+const DefaultRetries = 2
+
+// Options tunes a Client. The zero value selects the defaults.
+type Options struct {
+	// HTTPClient overrides the transport (nil selects a client with
+	// Timeout as its overall per-attempt deadline).
+	HTTPClient *http.Client
+	// Retries is the per-request retry budget; < 0 disables retries.
+	Retries int
+	// Timeout is the per-attempt deadline when HTTPClient is nil
+	// (default 30s).
+	Timeout time.Duration
+}
+
+// Client speaks the /v1 protocol and implements store.Backend (plus the
+// batch extension), so a worker process mounts the fleet store exactly
+// like a local directory:
+//
+//	be, _ := remote.NewClient("http://ci-store:9200", nil)
+//	st := store.New(0, be)
+//
+// Hot-path behaviour:
+//
+//   - Concurrent Gets of one key coalesce into a single in-flight request
+//     whose result every caller shares — a sweep fanning out over workers
+//     that all want the same entry costs one round trip.
+//   - GetBatch / PutBatch move whole sweeps in single gzipped NDJSON
+//     bodies (store.Store.Prefetch and Merge use them).
+//   - Every request has a bounded retry budget; after it is spent the
+//     failure is returned and the wrapping Store counts it as a miss
+//     (reads) or degrades to memory-only (writes) — the PR-3 discipline:
+//     a flaky network can slow a run down, never fail or corrupt it.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+
+	mu       sync.Mutex
+	inflight map[string]*inflightGet
+
+	gets, puts, coalesced, retried, netErrors atomic.Int64
+}
+
+// inflightGet is one coalesced in-flight point lookup.
+type inflightGet struct {
+	done chan struct{}
+	val  []byte
+	ok   bool
+	err  error
+}
+
+// NewClient validates baseURL (e.g. "http://127.0.0.1:9200") and returns a
+// client for the stored service there. It does not dial: reachability
+// failures surface per request (callers wanting fail-fast call Ping).
+func NewClient(baseURL string, opt *Options) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("remote: bad store URL %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("remote: bad store URL %q: want http[s]://host:port", baseURL)
+	}
+	o := Options{Retries: DefaultRetries, Timeout: 30 * time.Second}
+	if opt != nil {
+		o = *opt
+		if o.Timeout == 0 {
+			o.Timeout = 30 * time.Second
+		}
+	}
+	hc := o.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: o.Timeout}
+	}
+	retries := o.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	return &Client{
+		base:     strings.TrimRight(u.String(), "/"),
+		hc:       hc,
+		retries:  retries,
+		inflight: make(map[string]*inflightGet),
+	}, nil
+}
+
+// ClientStats counts a client's traffic for diagnostics and tests.
+type ClientStats struct {
+	Gets, Puts, Coalesced, Retried, NetErrors int64
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Gets:      c.gets.Load(),
+		Puts:      c.puts.Load(),
+		Coalesced: c.coalesced.Load(),
+		Retried:   c.retried.Load(),
+		NetErrors: c.netErrors.Load(),
+	}
+}
+
+// do performs one protocol request with the bounded retry budget: transport
+// errors and 5xx responses are retried with a short linear backoff, 4xx
+// responses and protocol-version mismatches are not (they are
+// deterministic). The returned response, if any, has status < 500 and a
+// matching protocol version; the caller owns its body.
+func (c *Client) do(method, path string, body []byte, hdr map[string]string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.retried.Add(1)
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("remote: %w", err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("remote: %s %s: %w", method, path, err)
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("remote: %s %s: server error %s", method, path, resp.Status)
+			continue
+		}
+		if got := resp.Header.Get(VersionHeader); got != ProtocolVersion {
+			resp.Body.Close()
+			return nil, fmt.Errorf("remote: %s is not a stored v%s endpoint (protocol header %q)", c.base, ProtocolVersion, got)
+		}
+		return resp, nil
+	}
+	c.netErrors.Add(1)
+	return nil, lastErr
+}
+
+// Get implements store.Backend with request coalescing: concurrent callers
+// of one key share a single in-flight request and its result.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		return f.val, f.ok, f.err
+	}
+	f := &inflightGet{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.ok, f.err = c.getOnce(key)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.ok, f.err
+}
+
+// getOnce is the uncoalesced point lookup.
+func (c *Client) getOnce(key string) ([]byte, bool, error) {
+	c.gets.Add(1)
+	resp, err := c.do(http.MethodGet, "/v1/get?k="+url.QueryEscape(key), nil, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rec wireRecord
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			return nil, false, fmt.Errorf("remote: get %s: %w", key, err)
+		}
+		if rec.K != key {
+			return nil, false, fmt.Errorf("remote: get %s: server answered for key %s", key, rec.K)
+		}
+		return rec.V, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("remote: get %s: unexpected %s", key, resp.Status)
+	}
+}
+
+// Put implements store.Backend (last-write-wins on the server).
+func (c *Client) Put(key string, val []byte) error {
+	c.puts.Add(1)
+	body, err := json.Marshal(wireRecord{K: key, V: json.RawMessage(val)})
+	if err != nil {
+		return fmt.Errorf("remote: put %s: %w", key, err)
+	}
+	resp, err := c.do(http.MethodPost, "/v1/put", body, map[string]string{"Content-Type": "application/json"})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: put %s: unexpected %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Has implements store.Backend. Any failure reads as absent — the probe's
+// only job is to decide whether a prime pass must execute the unit, and
+// executing is always safe.
+func (c *Client) Has(key string) bool {
+	resp, err := c.do(http.MethodGet, "/v1/has?k="+url.QueryEscape(key), nil, nil)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusNoContent
+}
+
+// gzipNDJSON encodes one gzipped NDJSON batch body.
+func gzipNDJSON(encode func(enc *json.Encoder) error) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := encode(json.NewEncoder(zw)); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// batchHeaders are the headers of every batch request: gzipped NDJSON out,
+// gzipped NDJSON welcomed back.
+func batchHeaders() map[string]string {
+	return map[string]string{
+		"Content-Type":     ndjsonContentType,
+		"Content-Encoding": "gzip",
+		"Accept-Encoding":  "gzip",
+	}
+}
+
+// keyBatch posts a gzipped NDJSON key list to path and hands the
+// (un-gzipped) NDJSON reply to scan, one parsed line at a time.
+func (c *Client) keyBatch(path string, keys []string, scan func(line []byte) error) error {
+	body, err := gzipNDJSON(func(enc *json.Encoder) error {
+		for _, k := range keys {
+			if err := enc.Encode(wireKey{K: k}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("remote: %s: %w", path, err)
+	}
+	resp, err := c.do(http.MethodPost, path, body, batchHeaders())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: %s: unexpected %s", path, resp.Status)
+	}
+	rd := io.Reader(resp.Body)
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return fmt.Errorf("remote: %s: %w", path, err)
+		}
+		defer zr.Close()
+		rd = zr
+	}
+	sc := batchScanner(rd)
+	for sc.Scan() {
+		if line := sc.Bytes(); len(line) > 0 {
+			if err := scan(line); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("remote: %s: %w", path, err)
+	}
+	return nil
+}
+
+// GetBatch implements store.BatchBackend: one gzipped /v1/mget round trip
+// for the whole key set.
+func (c *Client) GetBatch(keys []string) (map[string][]byte, error) {
+	c.gets.Add(int64(len(keys)))
+	out := make(map[string][]byte, len(keys))
+	err := c.keyBatch("/v1/mget", keys, func(line []byte) error {
+		var rec wireRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" {
+			return fmt.Errorf("remote: mget: bad record line %q", line)
+		}
+		out[rec.K] = rec.V
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HasBatch implements store.HasBatcher: one gzipped /v1/mhas round trip
+// answering presence for the whole key set — no values cross the wire,
+// which is what a prime pass deciding what to execute wants.
+func (c *Client) HasBatch(keys []string) (map[string]bool, error) {
+	out := make(map[string]bool, len(keys))
+	err := c.keyBatch("/v1/mhas", keys, func(line []byte) error {
+		var k wireKey
+		if err := json.Unmarshal(line, &k); err != nil || k.K == "" {
+			return fmt.Errorf("remote: mhas: bad key line %q", line)
+		}
+		out[k.K] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PutBatch implements store.BatchBackend: one gzipped /v1/mput round trip
+// for the whole entry set, reporting how many keys were new to the server.
+func (c *Client) PutBatch(entries []store.Entry) (int, error) {
+	c.puts.Add(int64(len(entries)))
+	body, err := gzipNDJSON(func(enc *json.Encoder) error {
+		for _, e := range entries {
+			if err := enc.Encode(wireRecord{K: e.Key, V: json.RawMessage(e.Val)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("remote: mput: %w", err)
+	}
+	resp, err := c.do(http.MethodPost, "/v1/mput", body, batchHeaders())
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("remote: mput: unexpected %s", resp.Status)
+	}
+	var pr PutReply
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, fmt.Errorf("remote: mput: %w", err)
+	}
+	return pr.Added, nil
+}
+
+// Ping fetches /v1/stats, verifying reachability and protocol version in
+// one call — the CLIs fail fast on it before a long run, where the
+// degrade-to-miss discipline would otherwise hide a typoed URL behind a
+// silently cold cache.
+func (c *Client) Ping() (StatsReply, error) {
+	resp, err := c.do(http.MethodGet, "/v1/stats", nil, nil)
+	if err != nil {
+		return StatsReply{}, err
+	}
+	defer resp.Body.Close()
+	var sr StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return StatsReply{}, fmt.Errorf("remote: stats: %w", err)
+	}
+	return sr, nil
+}
+
+// Compact asks the server to compact its log, returning live entries kept
+// and dead records dropped.
+func (c *Client) Compact() (kept, dropped int, err error) {
+	resp, err := c.do(http.MethodPost, "/v1/compact", nil, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("remote: compact: unexpected %s", resp.Status)
+	}
+	var cr CompactReply
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return 0, 0, fmt.Errorf("remote: compact: %w", err)
+	}
+	return cr.Kept, cr.Dropped, nil
+}
+
+// ForEach implements store.Backend by refusing: see ErrNotEnumerable.
+func (c *Client) ForEach(fn func(key string, val []byte) error) error {
+	return ErrNotEnumerable
+}
+
+// Len implements store.Backend with the server's authoritative count; an
+// unreachable server reads as empty.
+func (c *Client) Len() int {
+	sr, err := c.Ping()
+	if err != nil {
+		return 0
+	}
+	return sr.Len
+}
+
+// Close implements store.Backend, releasing idle connections.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}

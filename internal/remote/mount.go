@@ -1,0 +1,137 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Mount assembles the result store a CLI asked for from its -cache DIR and
+// -store URL flags:
+//
+//	cacheDir only  → the local NDJSON-backed store (PR-3 behaviour)
+//	storeURL only  → the fleet store, mounted through a Client
+//	both           → a store.Tiered: the local directory as a near tier in
+//	                 front of the fleet store, so each process pays one
+//	                 remote round trip per key ever
+//	neither        → no store (st is nil), plain uncached execution
+//
+// The remote client is pinged once so an unreachable address, a wrong
+// port, or a non-stored endpoint fails fast and loudly here — once a run
+// is underway the client's degrade-to-miss discipline would hide a typoed
+// URL behind a silently cold cache. The returned client is nil when
+// storeURL is empty.
+func Mount(cacheDir, storeURL string) (st *store.Store, cl *Client, err error) {
+	var be store.Backend
+	if storeURL != "" {
+		cl, err = NewClient(storeURL, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		sr, err := cl.Ping()
+		if err != nil {
+			return nil, nil, fmt.Errorf("store %s unreachable: %w", storeURL, err)
+		}
+		if sr.Protocol != ProtocolVersion {
+			return nil, nil, fmt.Errorf("store %s speaks protocol %q, this binary speaks %q", storeURL, sr.Protocol, ProtocolVersion)
+		}
+		be = cl
+	}
+	if cacheDir != "" {
+		local, err := store.OpenNDJSON(cacheDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if be != nil {
+			be = store.NewTiered(local, be)
+		} else {
+			be = local
+		}
+	}
+	if be == nil {
+		return nil, nil, nil
+	}
+	return store.New(0, be), cl, nil
+}
+
+// CLIStore is the mounted result store of one CLI invocation plus its
+// shard assignment — everything the -cache/-store/-shard/-merge flag
+// quartet resolves to, validated in one place so the binaries cannot
+// drift.
+type CLIStore struct {
+	Store          *store.Store // nil when no store flags were given
+	Client         *Client      // nil when -store was not given
+	ShardI, ShardM int          // 0,0 when -shard was not given
+}
+
+// Priming reports whether this invocation is a prime-only shard pass.
+func (cs *CLIStore) Priming() bool { return cs.ShardM > 0 }
+
+// Close closes the store, if any.
+func (cs *CLIStore) Close() error {
+	if cs.Store == nil {
+		return nil
+	}
+	return cs.Store.Close()
+}
+
+// MountFlags assembles and validates a CLI's store flags: Mount for
+// -cache/-store, then -merge (fold the listed shard directories in before
+// running, mutually exclusive with -shard) and -shard i/m. diag receives
+// the merge report; prog prefixes it ("experiments: merged …").
+func MountFlags(diag io.Writer, prog, cacheDir, storeURL, shardArg, mergeArg string) (*CLIStore, error) {
+	st, cl, err := Mount(cacheDir, storeURL)
+	if err != nil {
+		return nil, err
+	}
+	cs := &CLIStore{Store: st, Client: cl}
+	if mergeArg != "" {
+		if st == nil {
+			cs.Close()
+			return nil, fmt.Errorf("-merge requires -cache or -store")
+		}
+		if shardArg != "" {
+			cs.Close()
+			return nil, fmt.Errorf("-merge and -shard are mutually exclusive (merge replays the full run)")
+		}
+		var dirs []string
+		for _, d := range strings.Split(mergeArg, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				dirs = append(dirs, d)
+			}
+		}
+		added, err := st.Merge(dirs...)
+		if err != nil {
+			cs.Close()
+			return nil, err
+		}
+		fmt.Fprintf(diag, "%s: merged %d entries from %d store(s)\n", prog, added, len(dirs))
+	}
+	if shardArg != "" {
+		if st == nil {
+			cs.Close()
+			return nil, fmt.Errorf("-shard requires -cache or -store")
+		}
+		if cs.ShardI, cs.ShardM, err = store.ParseShard(shardArg); err != nil {
+			cs.Close()
+			return nil, err
+		}
+	}
+	return cs, nil
+}
+
+// PrintStats writes the end-of-run store diagnostics every CLI prints to
+// stderr: the cache traffic line (CI greps `misses=0` off it) and, when a
+// fleet store is mounted, the remote client's line.
+func (cs *CLIStore) PrintStats(diag io.Writer, prog string) {
+	if cs.Store != nil {
+		fmt.Fprintf(diag, "%s: cache %s (%d entries)\n", prog, cs.Store.Stats(), cs.Store.Len())
+	}
+	if cs.Client != nil {
+		s := cs.Client.Stats()
+		fmt.Fprintf(diag, "%s: remote gets=%d puts=%d coalesced=%d retried=%d netErrors=%d\n",
+			prog, s.Gets, s.Puts, s.Coalesced, s.Retried, s.NetErrors)
+	}
+}

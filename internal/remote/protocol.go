@@ -1,0 +1,137 @@
+// Package remote puts the content-addressed result store of
+// internal/store on the network: an HTTP service (Server, run by
+// cmd/stored) wrapping one authoritative store.Store, and a client-side
+// store.Backend (Client) so any number of worker processes — CI shards,
+// tournament searchers, laptop runs — share that store instead of priming
+// private directories and merging after the fact.
+//
+// The protocol is a small, versioned JSON/NDJSON surface:
+//
+//	GET  /v1/get?k=KEY   → 200 {"k":KEY,"v":VALUE} | 404
+//	GET  /v1/has?k=KEY   → 204 | 404
+//	POST /v1/put         ← {"k":KEY,"v":VALUE}            → 200 {"added":a,"conflicts":c}
+//	POST /v1/mget        ← NDJSON {"k":KEY} per line       → 200 NDJSON {"k":KEY,"v":VALUE} per found key
+//	POST /v1/mhas        ← NDJSON {"k":KEY} per line       → 200 NDJSON {"k":KEY} per present key
+//	POST /v1/mput        ← NDJSON {"k":KEY,"v":VALUE}      → 200 {"added":a,"conflicts":c}
+//	GET  /v1/stats       → 200 StatsReply
+//	POST /v1/compact     → 200 {"kept":k,"dropped":d}
+//
+// Batch bodies (/v1/mget, /v1/mput) are gzipped in both directions —
+// declared with the standard Content-Encoding / Accept-Encoding headers —
+// and batch records reuse the exact line format of the store's NDJSON log,
+// so a dump stays greppable with the same tools. Every response carries
+// the protocol version in the X-Result-Store-Protocol header; the client
+// refuses to talk through a version (or a non-stored endpoint) it does not
+// understand.
+//
+// Write semantics are the store's: per-key last-write-wins, safe because
+// keys are content addresses — two correct writers of one key wrote the
+// same bytes. The server still compares old and new value bytes on every
+// overwrite: an identical rewrite is dropped (idempotent pushes never
+// grow the log), a differing one is counted as a conflict (a bug or a
+// missed CacheVersion bump upstream), because a fleet-shared store is
+// exactly where such skew would otherwise hide.
+//
+// Failure discipline matches the rest of the store stack: on the client,
+// any network or protocol failure degrades to a counted miss (reads) or a
+// memory-only put (writes), never an error into the simulation.
+package remote
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// ProtocolVersion is the wire protocol generation, carried on every
+// response in VersionHeader. Bump it when the surface above changes
+// incompatibly; client and server refuse mismatched generations.
+const ProtocolVersion = "1"
+
+// VersionHeader is the response header naming the server's protocol
+// generation.
+const VersionHeader = "X-Result-Store-Protocol"
+
+// ndjsonContentType labels batch bodies.
+const ndjsonContentType = "application/x-ndjson"
+
+// maxBodyBytes bounds any single request body (post-decompression reads
+// are bounded per line by the scanner buffer).
+const maxBodyBytes = 1 << 30
+
+// wireRecord is one key/value pair on the wire — the same line format as
+// the store's NDJSON log. V holds the stored value, which is always JSON
+// (the store only ever holds canonical-JSON payloads).
+type wireRecord struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// wireKey is one mget request line.
+type wireKey struct {
+	K string `json:"k"`
+}
+
+// PutReply answers /v1/put and /v1/mput: how many keys were new to the
+// store and how many overwrote an existing key with *different* bytes
+// (conflicts — see the package comment; the last write still wins).
+type PutReply struct {
+	Added     int `json:"added"`
+	Conflicts int `json:"conflicts"`
+}
+
+// CompactReply answers /v1/compact.
+type CompactReply struct {
+	Kept    int `json:"kept"`
+	Dropped int `json:"dropped"`
+}
+
+// StoreStats is the server store's traffic counters in the stats reply.
+type StoreStats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Puts       int64 `json:"puts"`
+	Superseded int64 `json:"superseded"`
+	Corrupt    int64 `json:"corrupt"`
+	PutErrors  int64 `json:"putErrors"`
+}
+
+// RequestStats counts requests served per endpoint.
+type RequestStats struct {
+	Get     int64 `json:"get"`
+	Has     int64 `json:"has"`
+	Put     int64 `json:"put"`
+	MGet    int64 `json:"mget"`
+	MHas    int64 `json:"mhas"`
+	MPut    int64 `json:"mput"`
+	Compact int64 `json:"compact"`
+}
+
+// StatsReply answers /v1/stats.
+type StatsReply struct {
+	Protocol  string       `json:"protocol"`
+	Len       int          `json:"len"`
+	Conflicts int64        `json:"conflicts"`
+	Requests  RequestStats `json:"requests"`
+	Store     StoreStats   `json:"store"`
+}
+
+// errorReply is the JSON body of every non-2xx response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// requestBody returns the request body, transparently ungzipping when the
+// sender declared Content-Encoding: gzip, and bounded by maxBodyBytes.
+func requestBody(w http.ResponseWriter, r *http.Request) (io.ReadCloser, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if r.Header.Get("Content-Encoding") != "gzip" {
+		return body, nil
+	}
+	zr, err := gzip.NewReader(body)
+	if err != nil {
+		return nil, err
+	}
+	return zr, nil
+}

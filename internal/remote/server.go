@@ -1,0 +1,319 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// Server is the HTTP face of one authoritative store.Store — the service
+// cmd/stored runs. It is an http.Handler; mount it at the root of a
+// listener (it owns the whole /v1/ path space). Safe for concurrent use:
+// the store is already goroutine-safe, and the conflict check + write of
+// each put is serialized so the added/conflict counters stay exact under
+// racing writers.
+type Server struct {
+	st  *store.Store
+	mux *http.ServeMux
+
+	putMu     sync.Mutex // serializes conflict-check + write per put
+	conflicts atomic.Int64
+	req       struct {
+		get, has, put, mget, mhas, mput, compact atomic.Int64
+	}
+}
+
+// NewServer wraps st in the versioned HTTP protocol. The server owns the
+// store's write path but not its lifecycle — the caller still closes st
+// after the listener drains.
+func NewServer(st *store.Store) *Server {
+	s := &Server{st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/get", s.handleGet)
+	s.mux.HandleFunc("GET /v1/has", s.handleHas)
+	s.mux.HandleFunc("POST /v1/put", s.handlePut)
+	s.mux.HandleFunc("POST /v1/mget", s.handleMGet)
+	s.mux.HandleFunc("POST /v1/mhas", s.handleMHas)
+	s.mux.HandleFunc("POST /v1/mput", s.handleMPut)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	return s
+}
+
+// ServeHTTP implements http.Handler, stamping every response with the
+// protocol version before dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(VersionHeader, ProtocolVersion)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Conflicts returns the number of writes that overwrote a key with
+// different bytes — which content addressing promises never happens, so
+// every count is evidence of version skew or a bug in some writer.
+func (s *Server) Conflicts() int64 { return s.conflicts.Load() }
+
+// Requests returns per-endpoint request counts.
+func (s *Server) Requests() RequestStats {
+	return RequestStats{
+		Get:     s.req.get.Load(),
+		Has:     s.req.has.Load(),
+		Put:     s.req.put.Load(),
+		MGet:    s.req.mget.Load(),
+		MHas:    s.req.mhas.Load(),
+		MPut:    s.req.mput.Load(),
+		Compact: s.req.compact.Load(),
+	}
+}
+
+// reply writes a JSON body with the given status.
+func reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// replyError writes the protocol's error body.
+func replyError(w http.ResponseWriter, status int, format string, args ...any) {
+	reply(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// keyParam extracts the non-empty ?k= parameter.
+func keyParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	k := r.URL.Query().Get("k")
+	if k == "" {
+		replyError(w, http.StatusBadRequest, "missing key parameter k")
+		return "", false
+	}
+	return k, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.req.get.Add(1)
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	v, ok := s.st.Get(k)
+	if !ok {
+		replyError(w, http.StatusNotFound, "not found")
+		return
+	}
+	reply(w, http.StatusOK, wireRecord{K: k, V: v})
+}
+
+func (s *Server) handleHas(w http.ResponseWriter, r *http.Request) {
+	s.req.has.Add(1)
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	if !s.st.Has(k) {
+		replyError(w, http.StatusNotFound, "not found")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// storeOne applies one last-write-wins put, reporting whether the key was
+// new and whether it overwrote different bytes (a conflict, counted). The
+// check + write is serialized so two racing writers of one new key count
+// as exactly one added. The old value is read with Peek, so write traffic
+// never inflates the store's hit/miss books — and an identical rewrite
+// (the common fleet case: a retried push, two shards caching one adaptive
+// unit) is dropped outright, so repeated idempotent writes never grow the
+// server's append-only log.
+func (s *Server) storeOne(k string, v []byte) (added, conflicts int) {
+	s.putMu.Lock()
+	defer s.putMu.Unlock()
+	if old, ok := s.st.Peek(k); ok {
+		if bytes.Equal(old, v) {
+			return 0, 0 // byte-identical: the write is already durable
+		}
+		s.conflicts.Add(1)
+		conflicts = 1
+	} else {
+		added = 1
+	}
+	s.st.Put(k, v) // new key, or a conflicting rewrite: last write wins
+	return added, conflicts
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.req.put.Add(1)
+	body, err := requestBody(w, r)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	defer body.Close()
+	var rec wireRecord
+	if err := json.NewDecoder(body).Decode(&rec); err != nil {
+		replyError(w, http.StatusBadRequest, "bad record: %v", err)
+		return
+	}
+	if rec.K == "" || len(rec.V) == 0 {
+		replyError(w, http.StatusBadRequest, "record needs k and v")
+		return
+	}
+	added, conflicts := s.storeOne(rec.K, rec.V)
+	reply(w, http.StatusOK, PutReply{Added: added, Conflicts: conflicts})
+}
+
+// batchScanner wraps a batch body in a line scanner sized for big values.
+func batchScanner(body io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	return sc
+}
+
+// readKeys decodes an NDJSON key-list batch body; a false return means the
+// error response has already been written.
+func (s *Server) readKeys(w http.ResponseWriter, r *http.Request) ([]string, bool) {
+	body, err := requestBody(w, r)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "bad body: %v", err)
+		return nil, false
+	}
+	defer body.Close()
+	var keys []string
+	sc := batchScanner(body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var k wireKey
+		if err := json.Unmarshal(line, &k); err != nil || k.K == "" {
+			replyError(w, http.StatusBadRequest, "bad key line %q", line)
+			return nil, false
+		}
+		keys = append(keys, k.K)
+	}
+	if err := sc.Err(); err != nil {
+		replyError(w, http.StatusBadRequest, "reading keys: %v", err)
+		return nil, false
+	}
+	return keys, true
+}
+
+// ndjsonWriter starts a 200 NDJSON response, gzipped when the client
+// accepts it; the returned close must run before the handler exits.
+func ndjsonWriter(w http.ResponseWriter, r *http.Request) (out io.Writer, closeFn func()) {
+	w.Header().Set("Content-Type", ndjsonContentType)
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		zw := gzip.NewWriter(w)
+		w.WriteHeader(http.StatusOK)
+		return zw, func() { zw.Close() }
+	}
+	w.WriteHeader(http.StatusOK)
+	return w, func() {}
+}
+
+func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
+	s.req.mget.Add(1)
+	keys, ok := s.readKeys(w, r)
+	if !ok {
+		return
+	}
+	out, closeOut := ndjsonWriter(w, r)
+	defer closeOut()
+	enc := json.NewEncoder(out)
+	for _, k := range keys {
+		if v, ok := s.st.Get(k); ok {
+			if err := enc.Encode(wireRecord{K: k, V: v}); err != nil {
+				return // client went away; nothing left to report to it
+			}
+		}
+	}
+}
+
+// handleMHas is the presence-only sibling of mget: prime passes ask
+// "which of these exist?" for whole fan-outs, and values would be wasted
+// bytes — the reply carries keys alone.
+func (s *Server) handleMHas(w http.ResponseWriter, r *http.Request) {
+	s.req.mhas.Add(1)
+	keys, ok := s.readKeys(w, r)
+	if !ok {
+		return
+	}
+	out, closeOut := ndjsonWriter(w, r)
+	defer closeOut()
+	enc := json.NewEncoder(out)
+	for _, k := range keys {
+		if s.st.Has(k) {
+			if err := enc.Encode(wireKey{K: k}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
+	s.req.mput.Add(1)
+	body, err := requestBody(w, r)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	defer body.Close()
+	var total PutReply
+	sc := batchScanner(body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec wireRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" || len(rec.V) == 0 {
+			replyError(w, http.StatusBadRequest, "bad record line %q", line)
+			return
+		}
+		added, conflicts := s.storeOne(rec.K, rec.V)
+		total.Added += added
+		total.Conflicts += conflicts
+	}
+	if err := sc.Err(); err != nil {
+		replyError(w, http.StatusBadRequest, "reading records: %v", err)
+		return
+	}
+	reply(w, http.StatusOK, total)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.st.Stats()
+	reply(w, http.StatusOK, StatsReply{
+		Protocol:  ProtocolVersion,
+		Len:       s.st.Len(),
+		Conflicts: s.conflicts.Load(),
+		Requests:  s.Requests(),
+		Store: StoreStats{
+			Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
+			Superseded: st.Superseded, Corrupt: st.Corrupt, PutErrors: st.PutErrors,
+		},
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	s.req.compact.Add(1)
+	// Hold the write lock: a storeOne racing the file swap could Peek an
+	// existing key as absent and re-append it, inflating the added counter
+	// and regrowing the log mid-compaction. Point reads may still race and
+	// degrade to counted misses, as the store documents.
+	s.putMu.Lock()
+	kept, dropped, err := s.st.Compact()
+	s.putMu.Unlock()
+	if err != nil {
+		replyError(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	reply(w, http.StatusOK, CompactReply{Kept: kept, Dropped: dropped})
+}

@@ -80,6 +80,70 @@ func (c *CachedEngine) inShard(key string) bool {
 	return c.shardM <= 0 || store.ShardOf(key, c.shardM) == c.shardI
 }
 
+// prefetch warms the store's LRU tier with a whole fan-out's keys before
+// the workers spread out, when the backend can batch — one gzipped mget
+// against a remote store instead of one point request per job. It returns
+// the keys it computed, indexed by job, so the fan-out reuses them instead
+// of hashing every unit twice; the nil return (local backends, whose
+// per-key reads are already cheap) means no keys were computed at all.
+// Purely an optimization: hits, misses, and folded bytes are identical
+// with or without it.
+func (c *CachedEngine) prefetch(n int, key func(i int) string) []string {
+	if !c.cache.Batched() {
+		return nil
+	}
+	keys := make([]string, n)
+	fetch := make([]string, 0, n)
+	for i := range keys {
+		keys[i] = key(i)
+		if keys[i] != "" {
+			fetch = append(fetch, keys[i])
+		}
+	}
+	c.cache.Prefetch(fetch)
+	return keys
+}
+
+// probe batch-resolves which of a prime pass's in-shard keys are already
+// stored — presence only, no values on the wire (a prime pass never reads
+// the results it skips). Like prefetch it returns the computed key index;
+// both returns are nil when the backend cannot batch presence probes,
+// meaning "compute and probe per key".
+func (c *CachedEngine) probe(n int, key func(i int) string) (keys []string, present map[string]bool) {
+	if !c.cache.ProbeBatched() {
+		return nil, nil
+	}
+	keys = make([]string, n)
+	ask := make([]string, 0, n)
+	for i := range keys {
+		keys[i] = key(i)
+		if keys[i] != "" && c.inShard(keys[i]) {
+			ask = append(ask, keys[i])
+		}
+	}
+	return keys, c.cache.Present(ask)
+}
+
+// keyAt returns the i'th unit's cache key, reusing a batch-computed index
+// when one exists.
+func keyAt(keys []string, key func(i int) string, i int) string {
+	if keys != nil {
+		return keys[i]
+	}
+	return key(i)
+}
+
+// stored reports whether a prime pass may skip the unit under key:
+// present holds batch-established presence when a probe ran (a stale
+// "absent" only costs a re-execution whose identical bytes deduplicate),
+// and a per-key Has answers otherwise.
+func (c *CachedEngine) stored(present map[string]bool, key string) bool {
+	if present != nil {
+		return present[key]
+	}
+	return c.cache.Has(key)
+}
+
 // CachedMap is MapOrdered with a content-addressed memo in front: fn(i) is
 // executed only when key(i) misses the store, and its JSON-round-tripped
 // value feeds the fold otherwise. T must therefore be a pure value type
@@ -97,9 +161,10 @@ func CachedMap[T any](ce *CachedEngine, n int, key func(i int) string, fn func(i
 		return MapOrdered(ce.Engine, n, fn, fold)
 	}
 	if ce.Priming() {
+		keys, present := ce.probe(n, key)
 		return ce.Each(n, func(i int) error {
-			k := key(i)
-			if k == "" || !ce.inShard(k) || ce.cache.Has(k) {
+			k := keyAt(keys, key, i)
+			if k == "" || !ce.inShard(k) || ce.stored(present, k) {
 				return nil
 			}
 			v, err := fn(i)
@@ -110,8 +175,9 @@ func CachedMap[T any](ce *CachedEngine, n int, key func(i int) string, fn func(i
 			return nil
 		})
 	}
+	keys := ce.prefetch(n, key)
 	return MapOrdered(ce.Engine, n, func(i int) (T, error) {
-		k := key(i)
+		k := keyAt(keys, key, i)
 		if k != "" {
 			if v, ok := store.GetJSON[T](ce.cache, k); ok {
 				return v, nil
@@ -159,10 +225,12 @@ func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
 	if c.cache == nil {
 		return c.Engine.Run(jobs, fold)
 	}
+	jobKey := func(i int) string { return jobs[i].CacheKey() }
 	if c.Priming() {
+		keys, present := c.probe(len(jobs), jobKey)
 		return c.Each(len(jobs), func(i int) error {
-			k := jobs[i].CacheKey()
-			if k == "" || !c.inShard(k) || c.cache.Has(k) {
+			k := keyAt(keys, jobKey, i)
+			if k == "" || !c.inShard(k) || c.stored(present, k) {
 				return nil
 			}
 			r := Execute(jobs[i])
@@ -173,8 +241,9 @@ func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
 			return nil
 		})
 	}
+	keys := c.prefetch(len(jobs), jobKey)
 	return MapOrdered(c.Engine, len(jobs), func(i int) (Result, error) {
-		k := jobs[i].CacheKey()
+		k := keyAt(keys, jobKey, i)
 		if p, ok := store.GetJSON[jobPayload](c.cache, k); ok {
 			return Result{Index: i, Job: jobs[i], Report: p.Report}, nil
 		}
@@ -229,8 +298,10 @@ func (c *CachedEngine) RunSchedules(jobs []ScheduleJob, fold func(ScheduleResult
 	if c.cache == nil {
 		return c.Engine.RunSchedules(jobs, fold)
 	}
+	jobKey := func(i int) string { return jobs[i].CacheKey() }
+	keys := c.prefetch(len(jobs), jobKey)
 	return MapOrdered(c.Engine, len(jobs), func(i int) (ScheduleResult, error) {
-		k := jobs[i].CacheKey()
+		k := keyAt(keys, jobKey, i)
 		if p, ok := store.GetJSON[schedulePayload](c.cache, k); ok {
 			return ScheduleResult{
 				Index: i, Job: jobs[i],

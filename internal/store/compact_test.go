@@ -1,0 +1,297 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// dataFile is the NDJSON log inside a store directory.
+func dataFile(dir string) string { return filepath.Join(dir, "results.ndjson") }
+
+// TestSupersededCountedAtPutOpenAndMerge pins the duplicate-line
+// accounting the log used to do silently: overwrites, duplicates found
+// while rebuilding the index at open, and merge sources already present in
+// the destination are all counted as superseded, and last-write-wins picks
+// the final value everywhere.
+func TestSupersededCountedAtPutOpenAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.Key("v1", "unit")
+	store.PutJSON(st, k, 1)
+	store.PutJSON(st, k, 2)
+	store.PutJSON(st, k, 3)
+	if got := st.Stats().Superseded; got != 2 {
+		t.Fatalf("overwrites: superseded=%d, want 2", got)
+	}
+	if v, ok := store.GetJSON[int](st, k); !ok || v != 3 {
+		t.Fatalf("last write must win: %d ok=%v", v, ok)
+	}
+	st.Close()
+
+	// Reopen: the two dead lines are rediscovered while indexing.
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().Superseded; got != 2 {
+		t.Fatalf("open: superseded=%d, want 2", got)
+	}
+	if v, ok := store.GetJSON[int](st2, k); !ok || v != 3 {
+		t.Fatalf("open picked the wrong duplicate: %d ok=%v", v, ok)
+	}
+
+	// Merge of an overlapping shard: the shared key is skipped and counted.
+	other := t.TempDir()
+	src, err := store.Open(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.PutJSON(src, k, 3)
+	store.PutJSON(src, store.Key("v1", "fresh"), 4)
+	src.Close()
+	added, err := st2.Merge(other)
+	if err != nil || added != 1 {
+		t.Fatalf("merge added=%d err=%v, want 1", added, err)
+	}
+	if got := st2.Stats().Superseded; got != 3 {
+		t.Fatalf("merge: superseded=%d, want 3 (2 dead lines + 1 skipped duplicate)", got)
+	}
+}
+
+// TestCompactShedsDeadRecords is the core Compact contract: the rewritten
+// log holds exactly the live record per key, the reclaimed bytes are gone,
+// and the store keeps serving (including across a reopen).
+func TestCompactShedsDeadRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10
+	for round := 0; round < 4; round++ {
+		for i := 0; i < keys; i++ {
+			store.PutJSON(st, store.Key("v1", i), i*100+round)
+		}
+	}
+	grown, err := os.Stat(dataFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, dropped, err := st.Compact()
+	if err != nil || kept != keys || dropped != 3*keys {
+		t.Fatalf("Compact = %d, %d, %v; want kept=%d dropped=%d", kept, dropped, err, keys, 3*keys)
+	}
+	compacted, err := os.Stat(dataFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compacted.Size() >= grown.Size() {
+		t.Fatalf("log did not shrink: %d → %d bytes", grown.Size(), compacted.Size())
+	}
+	if got := st.Stats().Superseded; got != 0 {
+		t.Fatalf("superseded after compact = %d, want 0", got)
+	}
+	// The live store keeps serving the latest values through the new file.
+	for i := 0; i < keys; i++ {
+		if v, ok := store.GetJSON[int](st, store.Key("v1", i)); !ok || v != i*100+3 {
+			t.Fatalf("key %d after compact: %d ok=%v", i, v, ok)
+		}
+	}
+	// A second compact is a no-op.
+	kept, dropped, err = st.Compact()
+	if err != nil || kept != keys || dropped != 0 {
+		t.Fatalf("idempotent Compact = %d, %d, %v", kept, dropped, err)
+	}
+	st.Close()
+
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != keys || st2.Stats().Superseded != 0 {
+		t.Fatalf("reopen after compact: len=%d superseded=%d", st2.Len(), st2.Stats().Superseded)
+	}
+	for i := 0; i < keys; i++ {
+		if v, ok := store.GetJSON[int](st2, store.Key("v1", i)); !ok || v != i*100+3 {
+			t.Fatalf("key %d after reopen: %d ok=%v", i, v, ok)
+		}
+	}
+}
+
+// TestCompactCrashSafety simulates the two crash windows of the
+// rename-into-place protocol: a stranded scratch file from a crash before
+// the rename must be ignored and cleaned up at open, and the data file is
+// never in a torn state — it is either the old complete log or the new
+// one.
+func TestCompactCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.Key("v1", "unit")
+	store.PutJSON(st, k, 1)
+	store.PutJSON(st, k, 2)
+	st.Close()
+	before, err := os.ReadFile(dataFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash window 1: scratch written (even garbage), rename never
+	// happened. The log is untouched; open discards the scratch.
+	tmp := dataFile(dir) + ".tmp"
+	if err := os.WriteFile(tmp, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale compaction scratch not cleaned up at open")
+	}
+	after, err := os.ReadFile(dataFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("a crashed compaction modified the data file before its rename")
+	}
+	if v, ok := store.GetJSON[int](st2, k); !ok || v != 2 {
+		t.Fatalf("value after crashed compaction: %d ok=%v", v, ok)
+	}
+
+	// Crash window 2 boundary: a completed Compact leaves no scratch and a
+	// fully valid log.
+	if _, _, err := st2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("compaction left its scratch file behind")
+	}
+	st3, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if v, ok := store.GetJSON[int](st3, k); !ok || v != 2 {
+		t.Fatalf("value after compaction+reopen: %d ok=%v", v, ok)
+	}
+}
+
+// TestCompactDropsCorruptLines: unparseable lines ride along in the log as
+// dead weight; compaction sheds them too.
+func TestCompactDropsCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.PutJSON(st, store.Key("v1", "good"), 1)
+	st.Close()
+	f, err := os.OpenFile(dataFile(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "this is not a record")
+	f.Close()
+
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	kept, dropped, err := st2.Compact()
+	if err != nil || kept != 1 || dropped != 1 {
+		t.Fatalf("Compact = %d, %d, %v; want 1 kept, 1 corrupt line dropped", kept, dropped, err)
+	}
+	data, err := os.ReadFile(dataFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("not a record")) {
+		t.Fatal("corrupt line survived compaction")
+	}
+}
+
+// TestCompactUnderConcurrentTraffic runs Get/Put/Has traffic while the log
+// is compacted repeatedly; run under -race in CI. A reader that races the
+// file swap may see a counted miss (its handle closed), but values are
+// never wrong and counters never lie: hits+misses still equals the number
+// of Gets.
+func TestCompactUnderConcurrentTraffic(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 2) // tiny LRU keeps traffic on the backend
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const (
+		workers = 4
+		ops     = 150
+		keys    = 11
+	)
+	var wg sync.WaitGroup
+	var gets, puts int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			myGets, myPuts := int64(0), int64(0)
+			for i := 0; i < ops; i++ {
+				k := store.Key("v1", (w*ops+i)%keys)
+				v, ok := store.GetJSON[int](st, k)
+				myGets++
+				if ok && v != (w*ops+i)%keys {
+					t.Errorf("torn read: key %d gave %d", (w*ops+i)%keys, v)
+					return
+				}
+				if !ok {
+					store.PutJSON(st, k, (w*ops+i)%keys)
+					myPuts++
+				}
+			}
+			mu.Lock()
+			gets += myGets
+			puts += myPuts
+			mu.Unlock()
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, _, err := st.Compact(); err != nil {
+				t.Errorf("compact under traffic: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	s := st.Stats()
+	if s.Hits+s.Misses != gets {
+		t.Fatalf("counters drifted: hits=%d + misses=%d != gets=%d", s.Hits, s.Misses, gets)
+	}
+	if s.Puts != puts {
+		t.Fatalf("puts=%d, want %d", s.Puts, puts)
+	}
+	for i := 0; i < keys; i++ {
+		if v, ok := store.GetJSON[int](st, store.Key("v1", i)); !ok || v != i {
+			t.Fatalf("key %d after the dust settled: %d ok=%v", i, v, ok)
+		}
+	}
+}

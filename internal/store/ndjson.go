@@ -7,11 +7,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
 // ndjsonName is the data file inside a store directory.
 const ndjsonName = "results.ndjson"
+
+// ndjsonTmpName is the compaction scratch file; a leftover one (a crash
+// between writing and renaming) is dead weight and removed at open.
+const ndjsonTmpName = ndjsonName + ".tmp"
 
 // record is the wire form of one entry: one JSON object per line, the value
 // embedded as raw JSON so the file stays greppable and mergeable with
@@ -32,16 +37,25 @@ type span struct {
 // values are read on demand (the LRU tier above absorbs re-reads). Appends
 // are serialized under a mutex; reads use ReadAt and need no lock on the
 // file. One process owns a directory at a time — concurrent *processes*
-// should prime separate directories (sharding) and Merge them.
+// should prime separate directories (sharding) and Merge them, or share a
+// remote store.
+//
+// The log is last-write-wins per key: an overwrite appends a fresh line and
+// repoints the index, leaving the old line behind as dead data. Dead lines
+// (and dead duplicates found when rebuilding the index at open) are counted
+// as superseded, and Compact rewrites the file to shed them.
 //
 // Robustness: a line that does not parse — a torn final append after a
 // crash, hand-editing, version skew — is skipped at open and counted as
 // corrupt on read; it can only cause a re-execution, never a wrong result.
 type NDJSON struct {
-	mu   sync.Mutex
-	f    *os.File
-	idx  map[string]span
-	size int64
+	mu         sync.Mutex
+	f          *os.File // after a Compact this fd was born under the scratch name; path stays authoritative
+	path       string
+	idx        map[string]span
+	size       int64
+	superseded int64 // dead duplicate lines: overwrites + duplicates seen at open
+	dead       int64 // unparseable lines skipped at open (reclaimable by Compact)
 }
 
 // OpenNDJSON opens (creating if necessary) the NDJSON backend in dir.
@@ -49,12 +63,15 @@ func OpenNDJSON(dir string) (*NDJSON, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	// A stale compaction scratch file means a crash between write and
+	// rename; the data file is still authoritative, the scratch is garbage.
+	os.Remove(filepath.Join(dir, ndjsonTmpName))
 	path := filepath.Join(dir, ndjsonName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	b := &NDJSON{f: f, idx: make(map[string]span)}
+	b := &NDJSON{f: f, path: path, idx: make(map[string]span)}
 	if err := b.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -63,8 +80,10 @@ func OpenNDJSON(dir string) (*NDJSON, error) {
 }
 
 // load scans the data file and rebuilds the index. Later records win, so an
-// overwrite (or a merge of overlapping shards) resolves to the last append.
-// Unparseable lines and a truncated trailing line are skipped.
+// overwrite (or a merge of overlapping shards) resolves to the last append;
+// every earlier duplicate is counted as superseded instead of being
+// silently re-indexed. Unparseable lines and a truncated trailing line are
+// skipped (and counted as dead).
 func (b *NDJSON) load() error {
 	r := bufio.NewReaderSize(b.f, 1<<20)
 	var off int64
@@ -77,12 +96,17 @@ func (b *NDJSON) load() error {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("store: reading %s: %w", b.f.Name(), err)
+			return fmt.Errorf("store: reading %s: %w", b.path, err)
 		}
 		n := int64(len(line))
 		var rec record
 		if jerr := json.Unmarshal(line, &rec); jerr == nil && rec.K != "" {
+			if _, dup := b.idx[rec.K]; dup {
+				b.superseded++
+			}
 			b.idx[rec.K] = span{off: off, len: n}
+		} else {
+			b.dead++
 		}
 		off += n
 	}
@@ -92,12 +116,13 @@ func (b *NDJSON) load() error {
 func (b *NDJSON) Get(key string) ([]byte, bool, error) {
 	b.mu.Lock()
 	sp, ok := b.idx[key]
+	f := b.f // Compact may swap the file; read the one the span indexes
 	b.mu.Unlock()
 	if !ok {
 		return nil, false, nil
 	}
 	buf := make([]byte, sp.len)
-	if _, err := b.f.ReadAt(buf, sp.off); err != nil {
+	if _, err := f.ReadAt(buf, sp.off); err != nil {
 		return nil, false, fmt.Errorf("store: read %s: %w", key, err)
 	}
 	var rec record
@@ -126,6 +151,9 @@ func (b *NDJSON) Put(key string, val []byte) error {
 	defer b.mu.Unlock()
 	if _, err := b.f.WriteAt(line, b.size); err != nil {
 		return fmt.Errorf("store: append: %w", err)
+	}
+	if _, dup := b.idx[key]; dup {
+		b.superseded++ // the old line is dead weight until the next Compact
 	}
 	b.idx[key] = span{off: b.size, len: int64(len(line))}
 	b.size += int64(len(line))
@@ -157,6 +185,95 @@ func (b *NDJSON) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.idx)
+}
+
+// Superseded returns the number of known-dead duplicate lines in the log
+// (overwrites since open plus duplicates found while rebuilding the index).
+func (b *NDJSON) Superseded() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.superseded
+}
+
+// Compact implements Compactor: it rewrites the log keeping only the live
+// record per key, in stable (file-offset) order, and atomically renames the
+// rewrite into place — a crash at any point leaves either the old complete
+// file or the new complete file, never a torn mix (the scratch file a crash
+// strands is removed at the next open). Records that fail validation on
+// read-back are dropped like the corrupt misses they already were. Safe
+// against concurrent Get/Put/Has on the same backend: the swap happens
+// under the mutex, and a reader that raced the swap holds the old file
+// handle, whose close turns its read into an ordinary counted miss.
+func (b *NDJSON) Compact() (kept, dropped int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	path := b.path
+	tmpPath := filepath.Join(filepath.Dir(path), ndjsonTmpName)
+	// O_RDWR: after the rename this very descriptor becomes the backend's
+	// data file (a rename never invalidates an open fd), so there is no
+	// reopen window in which a failure could leave the backend writing to
+	// the unlinked old inode.
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+
+	// Stable rewrite order: live records by their current file offset, so
+	// compacting is a pure function of the log's live contents.
+	type liveEntry struct {
+		key string
+		sp  span
+	}
+	live := make([]liveEntry, 0, len(b.idx))
+	for k, sp := range b.idx {
+		live = append(live, liveEntry{k, sp})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].sp.off < live[j].sp.off })
+
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	newIdx := make(map[string]span, len(live))
+	var off int64
+	for _, e := range live {
+		buf := make([]byte, e.sp.len)
+		if _, rerr := b.f.ReadAt(buf, e.sp.off); rerr != nil {
+			dropped++
+			continue
+		}
+		var rec record
+		if jerr := json.Unmarshal(buf, &rec); jerr != nil || rec.K != e.key {
+			dropped++
+			continue
+		}
+		if _, werr := w.Write(buf); werr != nil {
+			tmp.Close()
+			return 0, 0, fmt.Errorf("store: compact: %w", werr)
+		}
+		newIdx[e.key] = span{off: off, len: e.sp.len}
+		off += e.sp.len
+		kept++
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return 0, 0, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, 0, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		tmp.Close()
+		return 0, 0, fmt.Errorf("store: compact: %w", err)
+	}
+	dropped += int(b.superseded) + int(b.dead)
+	b.f.Close()
+	b.f = tmp // now named `path`; the fd survived the rename
+	b.idx = newIdx
+	b.size = off
+	b.superseded = 0
+	b.dead = 0
+	return kept, dropped, nil
 }
 
 // Close implements Backend.

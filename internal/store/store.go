@@ -37,14 +37,25 @@ import (
 
 // Backend is the durable tier behind a Store. Implementations must be safe
 // for concurrent use by multiple goroutines of one process. (Multiple
-// processes should not share one backend; give each shard its own directory
-// and fold them together with Merge.)
+// processes should not share one file-backed backend; give each shard its
+// own directory and fold them together with Merge, or point every process
+// at one remote backend, which is built for exactly that.)
+//
+// Write semantics are per-key last-write-wins: Put overwrites any previous
+// value, and when several writers race on one key the final state is
+// whichever write landed last. That rule is safe here — and only here —
+// because keys are content addresses: two correct writers of the same key
+// computed the same bytes, so the order of their writes cannot change what
+// a reader observes. A backend that sees differing bytes rewrite a key is
+// watching a bug (or a missed CacheVersion bump) and should count it as a
+// conflict rather than try to arbitrate.
 type Backend interface {
 	// Get returns the stored value for key. ok is false on any miss,
 	// including corrupt or unreadable entries; err is reserved for
 	// infrastructure failures worth counting, which are still misses.
 	Get(key string) (val []byte, ok bool, err error)
-	// Put durably stores val under key, overwriting any previous value.
+	// Put durably stores val under key, overwriting any previous value
+	// (last-write-wins; see the interface comment).
 	Put(key string, val []byte) error
 	// Has reports whether key is present, without reading the value.
 	Has(key string) bool
@@ -60,16 +71,66 @@ type Backend interface {
 // re-execution; every miss corresponds to one execution the caller had to
 // perform. Corrupt counts entries that existed but could not be decoded
 // (served as misses); PutErrors counts failed durable writes (the value
-// stays available in the LRU tier).
+// stays available in the LRU tier); Superseded counts writes of a key that
+// was already stored — dead duplicate log lines found at open, overwriting
+// Puts, and Merge sources skipped because the destination already held the
+// key. Superseded entries are expected (last-write-wins over content
+// addresses), but a growing count is the signal to Compact.
 type Stats struct {
-	Hits, Misses, Puts, Corrupt, PutErrors int64
+	Hits, Misses, Puts, Corrupt, PutErrors, Superseded int64
 }
 
 // String renders the stats on one line (the form the CLIs print to stderr
 // and CI greps: a warm run must report misses=0).
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d stored=%d corrupt=%d putErrors=%d",
-		s.Hits, s.Misses, s.Puts, s.Corrupt, s.PutErrors)
+	return fmt.Sprintf("hits=%d misses=%d stored=%d superseded=%d corrupt=%d putErrors=%d",
+		s.Hits, s.Misses, s.Puts, s.Superseded, s.Corrupt, s.PutErrors)
+}
+
+// Entry is one key/value pair of a batch operation.
+type Entry struct {
+	Key string
+	Val []byte
+}
+
+// BatchBackend is optionally implemented by backends that can serve many
+// keys in one round trip — the remote client turns a GetBatch into a single
+// gzipped /v1/mget instead of hundreds of point requests. Local file
+// backends do not bother: their per-key calls are already cheap.
+type BatchBackend interface {
+	Backend
+	// GetBatch returns the stored values for every key it finds; absent
+	// keys are simply missing from the returned map. A batch failure
+	// returns an error and callers fall back to per-key Gets.
+	GetBatch(keys []string) (map[string][]byte, error)
+	// PutBatch stores every entry (last-write-wins, like Put) and reports
+	// how many keys were new to the backend.
+	PutBatch(entries []Entry) (added int, err error)
+}
+
+// HasBatcher is optionally implemented by backends that can answer many
+// presence probes in one round trip (the remote client's /v1/mhas): prime
+// passes ask "which of these exist?" for whole fan-outs, and values would
+// be wasted bytes on the wire.
+type HasBatcher interface {
+	// HasBatch reports presence for every key; keys absent from the map
+	// are absent from the backend.
+	HasBatch(keys []string) (map[string]bool, error)
+}
+
+// Compactor is optionally implemented by backends whose storage layout
+// accumulates dead data — the NDJSON log appends a duplicate line on every
+// overwrite — and can be rewritten to hold only the live record per key.
+type Compactor interface {
+	// Compact rewrites the backend's storage keeping only live entries,
+	// returning the number of live entries kept and dead records dropped.
+	Compact() (kept, dropped int, err error)
+}
+
+// superseder is optionally implemented by backends that track dead
+// duplicate records (see Stats.Superseded).
+type superseder interface {
+	Superseded() int64
 }
 
 // Store is the two-tier content-addressed result store. Safe for concurrent
@@ -79,7 +140,7 @@ type Store struct {
 	lru *lruCache
 	be  Backend // nil for a memory-only store
 
-	hits, misses, puts, corrupt, putErrors atomic.Int64
+	hits, misses, puts, corrupt, putErrors, superseded atomic.Int64
 }
 
 // DefaultLRUEntries is the LRU tier's capacity when the caller passes 0.
@@ -137,6 +198,28 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// Peek returns the value stored under key without touching the hit/miss
+// books — for infrastructure reads (the remote server's overwrite conflict
+// check) that would otherwise masquerade as cache traffic in Stats.
+// Backend read failures simply read as absent.
+func (s *Store) Peek(key string) ([]byte, bool) {
+	if s == nil || key == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	v, ok := s.lru.get(key)
+	s.mu.Unlock()
+	if ok {
+		return v, true
+	}
+	if s.be != nil {
+		if v, ok, _ := s.be.Get(key); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
 // Has reports whether key is present in either tier, without counting a hit
 // or a miss (used by prime passes to decide what still needs executing).
 func (s *Store) Has(key string) bool {
@@ -170,6 +253,147 @@ func (s *Store) Put(key string, val []byte) {
 	}
 }
 
+// Batched reports whether the backend can serve batch lookups in one round
+// trip; callers use it to decide whether computing a fan-out's keys up
+// front for Prefetch is worth anything.
+func (s *Store) Batched() bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.be.(BatchBackend)
+	return ok
+}
+
+// ProbeBatched reports whether the backend can answer batched presence
+// probes; callers use it to decide whether computing a fan-out's keys up
+// front for Present is worth anything.
+func (s *Store) ProbeBatched() bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.be.(HasBatcher)
+	return ok
+}
+
+// prefetchChunk bounds the number of keys per backend batch round trip so
+// request bodies stay small however large the fan-out is.
+const prefetchChunk = 512
+
+// Prefetch warms the LRU tier with the given keys in as few backend round
+// trips as the backend allows: a whole sweep's lookups become one gzipped
+// mget against a remote store instead of one request per job. Keys already
+// resident, keys absent from the backend, and batch failures all degrade
+// silently to the per-key path — a prefetch can only save round trips,
+// never change a result — and nothing is counted as a hit or miss here;
+// the per-key Gets that follow do the counting.
+//
+// The returned set holds every key now known present (resident before or
+// fetched by the batch); nil when the backend has no batch path. Callers
+// that want presence without moving values use Present instead.
+func (s *Store) Prefetch(keys []string) map[string]bool {
+	if s == nil {
+		return nil
+	}
+	bb, ok := s.be.(BatchBackend)
+	if !ok {
+		return nil
+	}
+	present := make(map[string]bool, len(keys))
+	var missing []string
+	s.mu.Lock()
+	for _, k := range keys {
+		if k == "" {
+			continue
+		}
+		if _, resident := s.lru.get(k); resident {
+			present[k] = true
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	s.mu.Unlock()
+	for len(missing) > 0 {
+		chunk := missing
+		if len(chunk) > prefetchChunk {
+			chunk = chunk[:prefetchChunk]
+		}
+		missing = missing[len(chunk):]
+		vals, err := bb.GetBatch(chunk)
+		if err != nil {
+			return present // per-key Gets will retry (and count) each failure
+		}
+		s.mu.Lock()
+		for k, v := range vals {
+			s.lru.put(k, v)
+			present[k] = true
+		}
+		s.mu.Unlock()
+	}
+	return present
+}
+
+// Present returns the set of the given keys known present, answered from
+// the LRU tier plus batched backend probes — no values move and nothing
+// is counted as a hit or miss. Returns nil when the backend cannot batch
+// presence probes; callers fall back to per-key Has. Prime passes use it
+// to decide what a whole fan-out still needs to execute in one round
+// trip. A batch failure leaves the remaining keys out of the set, which
+// reads as absent — re-executing a present unit is safe, its identical
+// bytes deduplicate.
+func (s *Store) Present(keys []string) map[string]bool {
+	if s == nil {
+		return nil
+	}
+	hb, ok := s.be.(HasBatcher)
+	if !ok {
+		return nil
+	}
+	present := make(map[string]bool, len(keys))
+	var missing []string
+	s.mu.Lock()
+	for _, k := range keys {
+		if k == "" {
+			continue
+		}
+		if _, resident := s.lru.get(k); resident {
+			present[k] = true
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	s.mu.Unlock()
+	for len(missing) > 0 {
+		chunk := missing
+		if len(chunk) > prefetchChunk {
+			chunk = chunk[:prefetchChunk]
+		}
+		missing = missing[len(chunk):]
+		m, err := hb.HasBatch(chunk)
+		if err != nil {
+			return present
+		}
+		for k, ok := range m {
+			if ok {
+				present[k] = true
+			}
+		}
+	}
+	return present
+}
+
+// Compact rewrites the backend's storage keeping only the live record per
+// key (see Compactor). Backends without dead data to reclaim report their
+// live count and zero dropped.
+func (s *Store) Compact() (kept, dropped int, err error) {
+	if s == nil || s.be == nil {
+		return 0, 0, nil
+	}
+	if c, ok := s.be.(Compactor); ok {
+		return c.Compact()
+	}
+	return s.be.Len(), 0, nil
+}
+
 // Len returns the number of durable entries (LRU-only for memory stores).
 func (s *Store) Len() int {
 	if s == nil {
@@ -188,13 +412,18 @@ func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
-	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Puts:      s.puts.Load(),
-		Corrupt:   s.corrupt.Load(),
-		PutErrors: s.putErrors.Load(),
+	st := Stats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Puts:       s.puts.Load(),
+		Corrupt:    s.corrupt.Load(),
+		PutErrors:  s.putErrors.Load(),
+		Superseded: s.superseded.Load(),
 	}
+	if sp, ok := s.be.(superseder); ok {
+		st.Superseded += sp.Superseded()
+	}
+	return st
 }
 
 // Close closes the backend, if any.
@@ -207,25 +436,58 @@ func (s *Store) Close() error {
 
 // Merge folds every entry of the NDJSON stores in dirs into s (the shard
 // fold: m processes prime disjoint key slices into their own directories,
-// then one process merges them and replays the whole sweep from cache).
-// Keys already present in s are kept as-is — entries are content-addressed,
-// so a duplicate key carries an identical value. Returns the number of
+// then one process merges them and replays the whole sweep from cache —
+// or, with a remote backend, pushes a local shard store up to the fleet
+// store). Keys already present in s are kept as-is and counted as
+// superseded — entries are content-addressed, so a duplicate key carries
+// an identical value. When the backend supports batching, entries travel
+// in PutBatch chunks instead of one Put per key. Returns the number of
 // entries added.
 func (s *Store) Merge(dirs ...string) (int, error) {
+	bb, batched := s.be.(BatchBackend)
 	added := 0
 	for _, dir := range dirs {
 		src, err := OpenNDJSON(dir)
 		if err != nil {
 			return added, fmt.Errorf("store: merge %s: %w", dir, err)
 		}
-		err = src.ForEach(func(key string, val []byte) error {
-			if s.Has(key) {
+		if batched {
+			var chunk []Entry
+			flush := func() error {
+				if len(chunk) == 0 {
+					return nil
+				}
+				n, err := bb.PutBatch(chunk)
+				if err != nil {
+					return err
+				}
+				added += n
+				s.puts.Add(int64(n))
+				s.superseded.Add(int64(len(chunk) - n))
+				chunk = chunk[:0]
 				return nil
 			}
-			s.Put(key, val)
-			added++
-			return nil
-		})
+			err = src.ForEach(func(key string, val []byte) error {
+				chunk = append(chunk, Entry{Key: key, Val: val})
+				if len(chunk) >= prefetchChunk {
+					return flush()
+				}
+				return nil
+			})
+			if err == nil {
+				err = flush()
+			}
+		} else {
+			err = src.ForEach(func(key string, val []byte) error {
+				if s.Has(key) {
+					s.superseded.Add(1)
+					return nil
+				}
+				s.Put(key, val)
+				added++
+				return nil
+			})
+		}
 		src.Close()
 		if err != nil {
 			return added, fmt.Errorf("store: merge %s: %w", dir, err)

@@ -1,0 +1,126 @@
+package store_test
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/remote"
+	"repro/internal/store"
+)
+
+// TestStressExactCountersAllTiers hammers one Store from many goroutines
+// through every backend shape the repository ships — memory-only,
+// LRU+NDJSON, the remote client against a live stored service, and the
+// tiered local-front-over-remote composite — and then audits the books:
+// every Get is exactly one hit or one miss, every Put is counted, and
+// nothing is ever an error or a wrong value. Run under -race in CI, this
+// is the store's concurrency-safety test for worker-pool traffic.
+func TestStressExactCountersAllTiers(t *testing.T) {
+	newRemoteBackend := func(t *testing.T) store.Backend {
+		t.Helper()
+		authoritative, err := store.Open(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(remote.NewServer(authoritative))
+		t.Cleanup(func() {
+			ts.Close()
+			authoritative.Close()
+		})
+		cl, err := remote.NewClient(ts.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *store.Store
+	}{
+		{"memory", func(t *testing.T) *store.Store {
+			return store.NewMemory(store.DefaultLRUEntries) // capacity > keyspace: no evictions, exact hit accounting
+		}},
+		{"lru+ndjson", func(t *testing.T) *store.Store {
+			st, err := store.Open(t.TempDir(), 2) // tiny LRU forces backend traffic
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+		{"remote", func(t *testing.T) *store.Store {
+			return store.New(2, newRemoteBackend(t))
+		}},
+		{"tiered", func(t *testing.T) *store.Store {
+			near, err := store.OpenNDJSON(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return store.New(2, store.NewTiered(near, newRemoteBackend(t)))
+		}},
+	}
+
+	const (
+		workers = 8
+		ops     = 120
+		keys    = 23
+	)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := tc.build(t)
+			defer st.Close()
+			var (
+				wg         sync.WaitGroup
+				mu         sync.Mutex
+				gets, puts int64
+			)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					var myGets, myPuts int64
+					for i := 0; i < ops; i++ {
+						id := (w*ops + i) % keys
+						k := store.Key("stress", id)
+						v, ok := store.GetJSON[int](st, k)
+						myGets++
+						if ok && v != id*7 {
+							t.Errorf("torn read: key %d gave %d", id, v)
+							return
+						}
+						if !ok {
+							store.PutJSON(st, k, id*7) // same bytes from every writer: content-addressed
+							myPuts++
+						}
+						st.Has(k) // uncounted probe; must never disturb the books
+					}
+					mu.Lock()
+					gets += myGets
+					puts += myPuts
+					mu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+
+			s := st.Stats()
+			if s.Hits+s.Misses != gets {
+				t.Fatalf("books don't balance: hits=%d + misses=%d != gets=%d (stats %+v)", s.Hits, s.Misses, gets, s)
+			}
+			if s.Puts != puts {
+				t.Fatalf("puts=%d, want %d", s.Puts, puts)
+			}
+			if s.Corrupt != 0 || s.PutErrors != 0 {
+				t.Fatalf("loopback stress must be clean: %+v", s)
+			}
+			if s.Misses < int64(keys) {
+				t.Fatalf("misses=%d < keyspace %d: first touch of each key must miss", s.Misses, keys)
+			}
+			for id := 0; id < keys; id++ {
+				if v, ok := store.GetJSON[int](st, store.Key("stress", id)); !ok || v != id*7 {
+					t.Fatalf("key %d after stress: %d ok=%v", id, v, ok)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package store
+
+import "errors"
+
+// Tiered composes two Backends into one: a fast near tier (typically the
+// local NDJSON directory) in front of an authoritative far tier (typically
+// the remote fleet store). Reads try the near tier first and write far-tier
+// hits back into it, so a process pays one remote round trip per key ever;
+// writes land in both tiers, so local results are durable even when the
+// fleet store is unreachable and shared as soon as it is not. This is how
+// `-cache DIR -store URL` compose in the CLIs.
+//
+// Like every Backend, each tier is last-write-wins per content-addressed
+// key, so the tiers can only disagree transiently about presence, never
+// about values.
+type Tiered struct {
+	near, far Backend
+}
+
+// NewTiered layers near in front of far. Both must be non-nil.
+func NewTiered(near, far Backend) *Tiered {
+	return &Tiered{near: near, far: far}
+}
+
+// Get implements Backend: near tier first, then far with write-back.
+func (t *Tiered) Get(key string) ([]byte, bool, error) {
+	if v, ok, _ := t.near.Get(key); ok {
+		return v, true, nil
+	}
+	v, ok, err := t.far.Get(key)
+	if ok {
+		t.near.Put(key, v) // best-effort write-back; a failure just costs a future round trip
+		return v, true, nil
+	}
+	return nil, false, err
+}
+
+// Put implements Backend, writing to both tiers. Either tier may fail
+// independently; the value is durable if at least one write landed, and a
+// combined error is returned (and counted once by the Store) only when
+// both failed.
+func (t *Tiered) Put(key string, val []byte) error {
+	nerr := t.near.Put(key, val)
+	ferr := t.far.Put(key, val)
+	if nerr != nil && ferr != nil {
+		return errors.Join(nerr, ferr)
+	}
+	return nil
+}
+
+// Has implements Backend.
+func (t *Tiered) Has(key string) bool {
+	return t.near.Has(key) || t.far.Has(key)
+}
+
+// ForEach implements Backend over the union of the tiers: every near entry,
+// then every far entry not shadowed by the near tier. A far tier that
+// cannot enumerate (the remote client) surfaces its error.
+func (t *Tiered) ForEach(fn func(key string, val []byte) error) error {
+	if err := t.near.ForEach(fn); err != nil {
+		return err
+	}
+	return t.far.ForEach(func(key string, val []byte) error {
+		if t.near.Has(key) {
+			return nil
+		}
+		return fn(key, val)
+	})
+}
+
+// Len implements Backend. The far tier is authoritative when reachable;
+// the near tier bounds the count from below when it is not.
+func (t *Tiered) Len() int {
+	n, f := t.near.Len(), t.far.Len()
+	if f > n {
+		return f
+	}
+	return n
+}
+
+// GetBatch implements BatchBackend: near hits are served locally, the rest
+// travel in one far-tier batch (when the far tier can batch) and are
+// written back into the near tier.
+func (t *Tiered) GetBatch(keys []string) (map[string][]byte, error) {
+	out := make(map[string][]byte, len(keys))
+	var missing []string
+	for _, k := range keys {
+		if v, ok, _ := t.near.Get(k); ok {
+			out[k] = v
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	far, err := getBatch(t.far, missing)
+	if err != nil {
+		if len(out) > 0 {
+			return out, nil // near hits still count; the rest degrade per-key
+		}
+		return nil, err
+	}
+	for k, v := range far {
+		t.near.Put(k, v)
+		out[k] = v
+	}
+	return out, nil
+}
+
+// PutBatch implements BatchBackend: the near tier takes per-key writes (it
+// is local, and keys it already holds are skipped — re-merging a shard
+// must not grow its append-only log), the far tier one batch when it can
+// (the far side dedups identical rewrites itself).
+func (t *Tiered) PutBatch(entries []Entry) (int, error) {
+	for _, e := range entries {
+		if !t.near.Has(e.Key) {
+			t.near.Put(e.Key, e.Val)
+		}
+	}
+	return putBatch(t.far, entries)
+}
+
+// HasBatch implements HasBatcher: near presence is answered locally, the
+// rest in one far-tier probe when the far tier can batch.
+func (t *Tiered) HasBatch(keys []string) (map[string]bool, error) {
+	present := make(map[string]bool, len(keys))
+	var missing []string
+	for _, k := range keys {
+		if t.near.Has(k) {
+			present[k] = true
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) == 0 {
+		return present, nil
+	}
+	if hb, ok := t.far.(HasBatcher); ok {
+		far, err := hb.HasBatch(missing)
+		if err != nil {
+			return present, nil // near answers stand; absent-by-default is safe
+		}
+		for k, ok := range far {
+			if ok {
+				present[k] = true
+			}
+		}
+		return present, nil
+	}
+	for _, k := range missing {
+		if t.far.Has(k) {
+			present[k] = true
+		}
+	}
+	return present, nil
+}
+
+// Superseded sums the tiers' dead-duplicate counts.
+func (t *Tiered) Superseded() int64 {
+	var n int64
+	if sp, ok := t.near.(superseder); ok {
+		n += sp.Superseded()
+	}
+	if sp, ok := t.far.(superseder); ok {
+		n += sp.Superseded()
+	}
+	return n
+}
+
+// Compact implements Compactor over whichever tiers support it.
+func (t *Tiered) Compact() (kept, dropped int, err error) {
+	for _, tier := range []Backend{t.near, t.far} {
+		if c, ok := tier.(Compactor); ok {
+			k, d, cerr := c.Compact()
+			kept += k
+			dropped += d
+			if cerr != nil {
+				return kept, dropped, cerr
+			}
+		}
+	}
+	return kept, dropped, nil
+}
+
+// Close implements Backend, closing both tiers.
+func (t *Tiered) Close() error {
+	return errors.Join(t.near.Close(), t.far.Close())
+}
+
+// getBatch fetches keys through the backend's batch path when it has one
+// and per-key Gets otherwise.
+func getBatch(be Backend, keys []string) (map[string][]byte, error) {
+	if bb, ok := be.(BatchBackend); ok {
+		return bb.GetBatch(keys)
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok, _ := be.Get(k); ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// putBatch stores entries through the backend's batch path when it has one
+// and per-key Puts otherwise, reporting how many keys were new.
+func putBatch(be Backend, entries []Entry) (int, error) {
+	if bb, ok := be.(BatchBackend); ok {
+		return bb.PutBatch(entries)
+	}
+	added := 0
+	for _, e := range entries {
+		if !be.Has(e.Key) {
+			added++
+		}
+		if err := be.Put(e.Key, e.Val); err != nil {
+			return added, err
+		}
+	}
+	return added, nil
+}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench_store.sh — run the result-store benchmarks and emit BENCH_store.json,
+# the machine-readable perf baseline for the store trajectory (local
+# LRU+NDJSON hot path and the remote batch/point paths over loopback).
+#
+# Usage: scripts/bench_store.sh [output.json]
+#
+# The JSON shape is one object per benchmark:
+#   {"name":..., "pkg":..., "iterations":N, "ns_per_op":X,
+#    "bytes_per_op":B, "allocs_per_op":A}
+# wrapped in {"go":version, "benchmarks":[...]}. Compare files across
+# commits with any JSON diff; no timestamps are embedded, so reruns on the
+# same box and code are stable modulo benchmark noise.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_store.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkStoreGetPut$' -benchmem ./internal/store >"$tmp"
+go test -run '^$' -bench 'BenchmarkRemoteMGet$|BenchmarkRemoteGet$' -benchmem ./internal/remote >>"$tmp"
+
+go_version="$(go env GOVERSION)"
+awk -v go_version="$go_version" '
+  /^pkg:/ { pkg = $2 }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op")    ns = $(i-1)
+      if ($i == "B/op")     bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    row = sprintf("  {\"name\":\"%s\",\"pkg\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}",
+                  name, pkg, $2, ns, bytes, allocs)
+    rows = rows (rows == "" ? "" : ",\n") row
+  }
+  END {
+    printf "{\"go\":\"%s\",\"benchmarks\":[\n%s\n]}\n", go_version, rows
+  }
+' "$tmp" >"$out"
+echo "wrote $out:" >&2
+cat "$out" >&2
