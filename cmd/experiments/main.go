@@ -29,6 +29,11 @@
 // processes on any number of machines share one authoritative cache:
 //
 //	experiments -store http://ci-store:9200          # read+write the fleet store
+//	experiments -store URL1,URL2,URL3                # a sharded fleet tier: each
+//	                                                 # key lives on exactly one
+//	                                                 # instance, batches split per
+//	                                                 # replica, a down replica
+//	                                                 # degrades to misses
 //	experiments -store URL -shard 1/3                # prime shard 1 against it
 //	                                                 # (run one process per shard,
 //	                                                 # anywhere on the fleet)
@@ -87,7 +92,7 @@ func run(args []string, w io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
 		asJSON   = fs.Bool("json", false, "emit each table as a JSON object instead of aligned text")
 		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
-		storeURL = fs.String("store", "", "remote result-store URL (a stored service, e.g. http://127.0.0.1:9200); with -cache, the directory becomes a local near tier")
+		storeURL = fs.String("store", "", "remote result-store URL(s), comma-separated (stored services, e.g. http://127.0.0.1:9200 or URL1,URL2 for a hash-routed fleet tier); with -cache, the directory becomes a local near tier")
 		shardArg = fs.String("shard", "", "i/m: prime only shard i of m's keys into the store and print no tables")
 		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
 	)

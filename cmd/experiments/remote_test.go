@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/remote"
@@ -106,9 +109,114 @@ func TestRemoteStoreFleetByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRouterFleetFailoverDeterminism is the acceptance matrix for the
+// multi-store router at the binary level: a -store URL1,URL2,URL3 run
+// spreads the key space across three stored instances with all writes
+// batched (zero point puts), replays byte-identically to a cold local run,
+// keeps producing the exact same bytes at workers 1/4/8 while one replica
+// is down (its keys degrade to misses and re-execute), and reports zero
+// re-executions once the replica is healthy again.
+func TestRouterFleetFailoverDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("router failover matrix skipped in -short mode")
+	}
+	const only = "E2,E4"
+	runOnly := func(t *testing.T, args ...string) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := run(append([]string{"-quick", "-only", only, "-json"}, args...), &buf); err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return buf.Bytes()
+	}
+	cold := runOnly(t, "-parallel", "1")
+
+	// Three stored instances. Each can be marked sick: data operations fail
+	// (500) while /v1/stats keeps answering — the half-alive replica that a
+	// health check misses, which is exactly when degrade-to-miss must hold.
+	const replicas = 3
+	stores := make([]*store.Store, replicas)
+	servers := make([]*remote.Server, replicas)
+	sick := make([]atomic.Bool, replicas)
+	urls := make([]string, replicas)
+	for i := 0; i < replicas; i++ {
+		st, err := store.Open(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+		servers[i] = remote.NewServer(st)
+		srv, i := servers[i], i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if sick[i].Load() && r.URL.Path != "/v1/stats" {
+				http.Error(w, "replica down", http.StatusInternalServerError)
+				return
+			}
+			srv.ServeHTTP(w, r)
+		}))
+		urls[i] = ts.URL
+		t.Cleanup(func() {
+			ts.Close()
+			st.Close()
+		})
+	}
+	storeList := strings.Join(urls, ",")
+
+	// Cold run through the router: byte-identical, key space spread across
+	// every replica, and the prime path's writes travel as batched mputs —
+	// not one synchronous put per executed unit.
+	if got := runOnly(t, "-store", storeList, "-parallel", "4"); !bytes.Equal(got, cold) {
+		t.Fatalf("routed cold run differs from local cold run:\n%s\nvs\n%s", got, cold)
+	}
+	total := 0
+	for i, st := range stores {
+		n := st.Len()
+		if n == 0 {
+			t.Fatalf("replica %d holds no keys — routing is degenerate", i)
+		}
+		total += n
+		if req := servers[i].Requests(); req.Put != 0 || req.MPut == 0 {
+			t.Fatalf("replica %d saw put=%d mput=%d, want batched writes only", i, req.Put, req.MPut)
+		}
+	}
+
+	// One replica down: its keys miss and re-execute, the output bytes do
+	// not move, at any worker count.
+	sick[1].Store(true)
+	for _, w := range []int{1, 4, 8} {
+		if got := runOnly(t, "-store", storeList, "-parallel", fmt.Sprint(w)); !bytes.Equal(got, cold) {
+			t.Fatalf("failover run at -parallel %d differs from cold run", w)
+		}
+	}
+	sick[1].Store(false)
+
+	// Healthy again: a warm run serves everything from the fleet tier —
+	// no writes, no entry growth anywhere (the re-executions during the
+	// outage deduplicated against the replica's existing entries).
+	before := make([]remote.RequestStats, replicas)
+	for i := range servers {
+		before[i] = servers[i].Requests()
+	}
+	if got := runOnly(t, "-store", storeList, "-parallel", "4"); !bytes.Equal(got, cold) {
+		t.Fatal("post-recovery warm run diverged")
+	}
+	warmTotal := 0
+	for i := range servers {
+		after := servers[i].Requests()
+		if after.Put != before[i].Put || after.MPut != before[i].MPut {
+			t.Fatalf("replica %d: warm run wrote (put %d→%d, mput %d→%d): simulations executed",
+				i, before[i].Put, after.Put, before[i].MPut, after.MPut)
+		}
+		warmTotal += stores[i].Len()
+	}
+	if warmTotal != total {
+		t.Fatalf("warm run grew the fleet %d→%d entries", total, warmTotal)
+	}
+}
+
 // TestStoreFlagValidation pins the -store flag's loud failure modes: a
-// malformed URL and an unreachable server are startup errors, not silently
-// cold caches.
+// malformed URL and an unreachable server — anywhere in a replica list —
+// are startup errors, not silently cold caches.
 func TestStoreFlagValidation(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-store", "not a url", "-only", "E2"}, &buf); err == nil {
@@ -116,6 +224,16 @@ func TestStoreFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-store", "http://127.0.0.1:1", "-only", "E2"}, &buf); err == nil {
 		t.Fatal("unreachable -store URL accepted")
+	}
+	healthy, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	ts := httptest.NewServer(remote.NewServer(healthy))
+	defer ts.Close()
+	if err := run([]string{"-store", ts.URL + ",http://127.0.0.1:1", "-only", "E2"}, &buf); err == nil {
+		t.Fatal("replica list with an unreachable member accepted")
 	}
 	if buf.Len() != 0 {
 		t.Fatalf("error paths wrote to the data stream: %q", buf.String())

@@ -27,6 +27,8 @@
 //
 //	tournament -store http://ci-store:9200       # share one authoritative
 //	                                             # store across processes
+//	tournament -store URL1,URL2                  # hash-routed fleet tier over
+//	                                             # several stored instances
 //	tournament -store URL -shard 1/3             # search only shard 1's cells,
 //	                                             # caching into the fleet store
 //	tournament -cache DIR -store URL             # DIR as a local near tier
@@ -84,7 +86,7 @@ func run(args []string, w io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
 		ndjson   = fs.Bool("ndjson", false, "emit the summary as NDJSON rows instead of an aligned table")
 		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
-		storeURL = fs.String("store", "", "remote result-store URL (a stored service, e.g. http://127.0.0.1:9200); with -cache, the directory becomes a local near tier")
+		storeURL = fs.String("store", "", "remote result-store URL(s), comma-separated (stored services, e.g. http://127.0.0.1:9200 or URL1,URL2 for a hash-routed fleet tier); with -cache, the directory becomes a local near tier")
 		shardArg = fs.String("shard", "", "i/m: run only shard i of m's (algo, n) cells into the store, no stdout")
 		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
 	)

@@ -1,12 +1,15 @@
-// Remote: the fleet-shared result store end to end, in one process. A
-// stored-style server (the same handler cmd/stored mounts) serves one
-// authoritative store on loopback; two independent "worker processes" —
-// here, two separate clients with their own local LRU tiers — run the same
-// batch of simulations against it. The first worker pays for every
-// simulation and uploads the results; the second worker executes nothing:
-// its whole batch is served by one gzipped mget, misses=0.
+// Remote: the fleet-shared result store end to end, in one process. Two
+// stored-style servers (the same handler cmd/stored mounts) serve two
+// authoritative store instances on loopback; independent "worker
+// processes" — separate clients with their own local LRU tiers — run the
+// same batch of simulations against them through a hash-routing fleet
+// tier (what `-store URL1,URL2` mounts). The first worker pays for every
+// simulation and uploads the results in batched mputs; the second worker
+// executes nothing: its whole batch is served by one gzipped mget per
+// replica, misses=0. Each instance holds a disjoint slice of the key
+// space, so the fleet cache scales by adding instances.
 //
-// The multi-process version of this walkthrough (real stored binary, two
+// The multi-process version of this walkthrough (real stored binaries,
 // sharded cmd/experiments runs) is in examples/remote/README.md.
 package main
 
@@ -15,6 +18,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 
 	"repro/internal/machine"
 	"repro/internal/remote"
@@ -22,17 +26,24 @@ import (
 	"repro/internal/store"
 )
 
-func main() {
-	// --- the service: what `stored -dir DIR` runs -----------------------
+// serveStored starts one stored-style instance on loopback, returning its
+// URL and the authoritative store behind it.
+func serveStored() (string, *store.Store) {
 	authoritative := store.NewMemory(0) // cmd/stored uses an NDJSON dir; memory keeps the example self-contained
-	srv := remote.NewServer(authoritative)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, srv)
-	url := "http://" + ln.Addr().String()
-	fmt.Printf("stored serving on %s\n\n", url)
+	go http.Serve(ln, remote.NewServer(authoritative))
+	return "http://" + ln.Addr().String(), authoritative
+}
+
+func main() {
+	// --- the fleet tier: what `stored -dir DIR` runs, twice ---------------
+	url1, auth1 := serveStored()
+	url2, auth2 := serveStored()
+	urls := []string{url1, url2}
+	fmt.Printf("stored fleet serving on %s\n\n", strings.Join(urls, " and "))
 
 	// --- the workload: a grid of canonical simulations ------------------
 	var jobs []runner.Job
@@ -44,11 +55,12 @@ func main() {
 
 	// --- two workers, two processes' worth of state ---------------------
 	for worker := 1; worker <= 2; worker++ {
-		cl, err := remote.NewClient(url, nil)
+		// remote.Mount with a comma-separated list builds the Router over
+		// one pinged client per instance — the CLIs' `-store URL1,URL2`.
+		st, cls, err := remote.Mount("", strings.Join(urls, ","))
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := store.New(0, cl) // each worker has its own LRU; the backend is shared
 		eng := runner.NewCached(runner.New(4), st)
 		total := 0
 		if err := eng.Run(jobs, func(r runner.Result) error {
@@ -62,12 +74,14 @@ func main() {
 		}
 		fmt.Printf("worker %d: total SC over %d jobs = %d\n", worker, len(jobs), total)
 		fmt.Printf("worker %d: cache %s\n", worker, st.Stats())
-		cs := cl.Stats()
-		fmt.Printf("worker %d: remote gets=%d puts=%d coalesced=%d\n\n", worker, cs.Gets, cs.Puts, cs.Coalesced)
+		for i, cl := range cls {
+			cs := cl.Stats()
+			fmt.Printf("worker %d: replica %d gets=%d puts=%d\n", worker, i, cs.Gets, cs.Puts)
+		}
+		fmt.Println()
 		st.Close()
 	}
 
-	fmt.Printf("server: %d entries, %d conflicts (content-addressed writers never conflict)\n",
-		authoritative.Len(), srv.Conflicts())
-	fmt.Println("worker 2 reported misses=0: the fleet store made its run free.")
+	fmt.Printf("fleet: %d + %d entries — disjoint slices of one key space\n", auth1.Len(), auth2.Len())
+	fmt.Println("worker 2 reported misses=0: the routed fleet store made its run free.")
 }

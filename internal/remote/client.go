@@ -109,6 +109,10 @@ func NewClient(baseURL string, opt *Options) (*Client, error) {
 	}, nil
 }
 
+// URL returns the base URL the client was mounted with (diagnostics: the
+// CLIs label per-replica stats lines with it).
+func (c *Client) URL() string { return c.base }
+
 // ClientStats counts a client's traffic for diagnostics and tests.
 type ClientStats struct {
 	Gets, Puts, Coalesced, Retried, NetErrors int64

@@ -9,35 +9,55 @@ import (
 )
 
 // Mount assembles the result store a CLI asked for from its -cache DIR and
-// -store URL flags:
+// -store URL[,URL…] flags:
 //
-//	cacheDir only  → the local NDJSON-backed store (PR-3 behaviour)
-//	storeURL only  → the fleet store, mounted through a Client
-//	both           → a store.Tiered: the local directory as a near tier in
-//	                 front of the fleet store, so each process pays one
-//	                 remote round trip per key ever
-//	neither        → no store (st is nil), plain uncached execution
+//	cacheDir only   → the local NDJSON-backed store (PR-3 behaviour)
+//	one store URL   → the fleet store, mounted through a Client
+//	N store URLs    → a store.Router over N fleet instances: each key is
+//	                  owned by exactly one instance (stable hash partition),
+//	                  batches split per replica, a down replica degrades to
+//	                  misses instead of failing the run
+//	cacheDir + URLs → a store.Tiered: the local directory as a near tier in
+//	                  front of the fleet tier, so each process pays one
+//	                  remote round trip per key ever
+//	neither         → no store (st is nil), plain uncached execution
 //
-// The remote client is pinged once so an unreachable address, a wrong
-// port, or a non-stored endpoint fails fast and loudly here — once a run
-// is underway the client's degrade-to-miss discipline would hide a typoed
-// URL behind a silently cold cache. The returned client is nil when
-// storeURL is empty.
-func Mount(cacheDir, storeURL string) (st *store.Store, cl *Client, err error) {
+// Every replica is pinged once so an unreachable address, a wrong port, or
+// a non-stored endpoint fails fast and loudly here — once a run is
+// underway the degrade-to-miss discipline would hide a typoed URL behind a
+// silently cold (or silently half-cold) cache. The returned clients are in
+// URL order, one per replica; empty when storeURL is empty. The URL list
+// is order-sensitive: every process of a fleet must pass the same list in
+// the same order, or they will disagree about which replica owns a key.
+func Mount(cacheDir, storeURL string) (st *store.Store, cls []*Client, err error) {
 	var be store.Backend
-	if storeURL != "" {
-		cl, err = NewClient(storeURL, nil)
-		if err != nil {
-			return nil, nil, err
+	if urls := splitList(storeURL); storeURL != "" && len(urls) == 0 {
+		// "," or whitespace: the caller asked for a fleet store and named no
+		// member (an unset env var in `-store "$A,$B"`); silently mounting
+		// nothing would be the silently-cold cache this function fails fast on.
+		return nil, nil, fmt.Errorf("remote: bad store URL list %q: no URLs", storeURL)
+	} else if len(urls) > 0 {
+		replicas := make([]store.Backend, len(urls))
+		for i, u := range urls {
+			cl, err := NewClient(u, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			sr, err := cl.Ping()
+			if err != nil {
+				return nil, nil, fmt.Errorf("store %s unreachable: %w", u, err)
+			}
+			if sr.Protocol != ProtocolVersion {
+				return nil, nil, fmt.Errorf("store %s speaks protocol %q, this binary speaks %q", u, sr.Protocol, ProtocolVersion)
+			}
+			cls = append(cls, cl)
+			replicas[i] = cl
 		}
-		sr, err := cl.Ping()
-		if err != nil {
-			return nil, nil, fmt.Errorf("store %s unreachable: %w", storeURL, err)
+		if len(replicas) == 1 {
+			be = replicas[0]
+		} else {
+			be = store.NewRouter(replicas...)
 		}
-		if sr.Protocol != ProtocolVersion {
-			return nil, nil, fmt.Errorf("store %s speaks protocol %q, this binary speaks %q", storeURL, sr.Protocol, ProtocolVersion)
-		}
-		be = cl
 	}
 	if cacheDir != "" {
 		local, err := store.OpenNDJSON(cacheDir)
@@ -53,7 +73,18 @@ func Mount(cacheDir, storeURL string) (st *store.Store, cl *Client, err error) {
 	if be == nil {
 		return nil, nil, nil
 	}
-	return store.New(0, be), cl, nil
+	return store.New(0, be), cls, nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // CLIStore is the mounted result store of one CLI invocation plus its
@@ -62,7 +93,7 @@ func Mount(cacheDir, storeURL string) (st *store.Store, cl *Client, err error) {
 // drift.
 type CLIStore struct {
 	Store          *store.Store // nil when no store flags were given
-	Client         *Client      // nil when -store was not given
+	Clients        []*Client    // one per -store replica URL; empty when -store was not given
 	ShardI, ShardM int          // 0,0 when -shard was not given
 }
 
@@ -82,11 +113,11 @@ func (cs *CLIStore) Close() error {
 // running, mutually exclusive with -shard) and -shard i/m. diag receives
 // the merge report; prog prefixes it ("experiments: merged …").
 func MountFlags(diag io.Writer, prog, cacheDir, storeURL, shardArg, mergeArg string) (*CLIStore, error) {
-	st, cl, err := Mount(cacheDir, storeURL)
+	st, cls, err := Mount(cacheDir, storeURL)
 	if err != nil {
 		return nil, err
 	}
-	cs := &CLIStore{Store: st, Client: cl}
+	cs := &CLIStore{Store: st, Clients: cls}
 	if mergeArg != "" {
 		if st == nil {
 			cs.Close()
@@ -96,12 +127,7 @@ func MountFlags(diag io.Writer, prog, cacheDir, storeURL, shardArg, mergeArg str
 			cs.Close()
 			return nil, fmt.Errorf("-merge and -shard are mutually exclusive (merge replays the full run)")
 		}
-		var dirs []string
-		for _, d := range strings.Split(mergeArg, ",") {
-			if d = strings.TrimSpace(d); d != "" {
-				dirs = append(dirs, d)
-			}
-		}
+		dirs := splitList(mergeArg)
 		added, err := st.Merge(dirs...)
 		if err != nil {
 			cs.Close()
@@ -124,14 +150,19 @@ func MountFlags(diag io.Writer, prog, cacheDir, storeURL, shardArg, mergeArg str
 
 // PrintStats writes the end-of-run store diagnostics every CLI prints to
 // stderr: the cache traffic line (CI greps `misses=0` off it) and, when a
-// fleet store is mounted, the remote client's line.
+// fleet tier is mounted, one line per replica — a sick replica shows up as
+// its own netErrors count instead of blurring into a fleet-wide total.
 func (cs *CLIStore) PrintStats(diag io.Writer, prog string) {
 	if cs.Store != nil {
 		fmt.Fprintf(diag, "%s: cache %s (%d entries)\n", prog, cs.Store.Stats(), cs.Store.Len())
 	}
-	if cs.Client != nil {
-		s := cs.Client.Stats()
-		fmt.Fprintf(diag, "%s: remote gets=%d puts=%d coalesced=%d retried=%d netErrors=%d\n",
-			prog, s.Gets, s.Puts, s.Coalesced, s.Retried, s.NetErrors)
+	for i, cl := range cs.Clients {
+		label := "remote"
+		if len(cs.Clients) > 1 {
+			label = fmt.Sprintf("remote[%d %s]", i, cl.URL())
+		}
+		s := cl.Stats()
+		fmt.Fprintf(diag, "%s: %s gets=%d puts=%d coalesced=%d retried=%d netErrors=%d\n",
+			prog, label, s.Gets, s.Puts, s.Coalesced, s.Retried, s.NetErrors)
 	}
 }

@@ -513,3 +513,79 @@ func TestMountTiers(t *testing.T) {
 		t.Fatal("impostor store URL accepted")
 	}
 }
+
+// TestMountRouterSpreadsKeySpace pins the -store URL1,URL2,… composition:
+// a comma-separated list mounts a Router, every replica is pinged at mount
+// (one dead member fails the whole mount loudly), writes spread across the
+// instances by the stable partition, and reads find every key again.
+func TestMountRouterSpreadsKeySpace(t *testing.T) {
+	ts1, srv1, auth1 := newServer(t)
+	ts2, srv2, auth2 := newServer(t)
+	list := ts1.URL + "," + ts2.URL
+
+	st, cls, err := remote.Mount("", list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if len(cls) != 2 || cls[0].URL() != ts1.URL || cls[1].URL() != ts2.URL {
+		t.Fatalf("Mount returned clients %v, want one per URL in order", cls)
+	}
+
+	const n = 40
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = store.Key("v1", i)
+		st.Put(keys[i], []byte(fmt.Sprintf(`{"i":%d}`, i)))
+	}
+	if auth1.Len() == 0 || auth2.Len() == 0 {
+		t.Fatalf("replica fill %d/%d: routing is degenerate", auth1.Len(), auth2.Len())
+	}
+	if auth1.Len()+auth2.Len() != n || st.Len() != n {
+		t.Fatalf("replicas hold %d+%d, store Len %d, want disjoint total %d",
+			auth1.Len(), auth2.Len(), st.Len(), n)
+	}
+	for i, k := range keys {
+		owner := store.ShardOf(k, 2)
+		if got := []*store.Store{auth1, auth2}[owner].Has(k); !got {
+			t.Fatalf("key %d not on its owner replica %d", i, owner)
+		}
+	}
+
+	// Prefetch splits into one concurrent mget per replica and the per-key
+	// reads that follow are all served warm.
+	fresh, _, err := remote.Mount("", list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	present := fresh.Prefetch(keys)
+	if len(present) != n {
+		t.Fatalf("Prefetch marked %d of %d keys present", len(present), n)
+	}
+	for _, srv := range []*remote.Server{srv1, srv2} {
+		if r := srv.Requests(); r.MGet != 1 {
+			t.Fatalf("prefetch issued %d mgets on a replica, want exactly 1", r.MGet)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := fresh.Get(k); !ok || string(v) != fmt.Sprintf(`{"i":%d}`, i) {
+			t.Fatalf("key %d through router: %q ok=%v", i, v, ok)
+		}
+	}
+	if r1, r2 := srv1.Requests(), srv2.Requests(); r1.Get != 0 || r2.Get != 0 {
+		t.Fatalf("warm reads went point (%d, %d point gets), want all served by the prefetch", r1.Get, r2.Get)
+	}
+
+	// A dead member anywhere in the list fails the mount, naming it — and a
+	// list that names no member at all (unset env vars leaving just ",") is
+	// a loud error, not a silently storeless run.
+	if _, _, err := remote.Mount("", ts1.URL+",http://127.0.0.1:1"); err == nil {
+		t.Fatal("replica list with a dead member accepted")
+	}
+	for _, empty := range []string{",", " , ", ",,"} {
+		if _, _, err := remote.Mount("", empty); err == nil {
+			t.Fatalf("empty URL list %q accepted", empty)
+		}
+	}
+}

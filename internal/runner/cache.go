@@ -23,7 +23,11 @@ const CacheVersion = "fanl06-sim-v3"
 //   - with a store, Run / RunSchedules / CachedMap consult the store before
 //     executing and write back after, and because results are folded in
 //     submission order the folds see byte-identical values whether each
-//     result came from cache or execution, at any worker count;
+//     result came from cache or execution, at any worker count; against a
+//     batching backend both directions travel batched — reads in one
+//     prefetch mget up front, executed results in buffered mputs flushed at
+//     the fan-out barrier — so a fan-out costs round trips per batch, not
+//     per unit;
 //   - with a shard assignment (WithShard) the engine becomes a prime pass:
 //     statically enumerable fan-outs execute only this shard's missing keys
 //     and skip their folds entirely, so m processes can split one sweep's
@@ -133,6 +137,23 @@ func keyAt(keys []string, key func(i int) string, i int) string {
 	return key(i)
 }
 
+// sink returns the write path for one fan-out and its flush barrier. When
+// the backend can batch, executed results are buffered and pushed as one
+// mput per fan-out (the write-side mirror of prefetch) instead of one
+// synchronous round trip per miss; the flush runs after the fan-out's last
+// unit so every write is durable — and visible to other processes — before
+// the engine returns. Local backends keep the direct per-key path, whose
+// appends are already cheap. Folds are unaffected either way: they consume
+// the executed values, and the buffer serves in-process reads from the LRU
+// tier immediately.
+func (c *CachedEngine) sink() (store.Putter, func()) {
+	if !c.cache.Batched() {
+		return c.cache, func() {}
+	}
+	wb := store.NewWriteBuffer(c.cache, 0)
+	return wb, wb.Flush
+}
+
 // stored reports whether a prime pass may skip the unit under key:
 // present holds batch-established presence when a probe ran (a stale
 // "absent" only costs a re-execution whose identical bytes deduplicate),
@@ -160,6 +181,8 @@ func CachedMap[T any](ce *CachedEngine, n int, key func(i int) string, fn func(i
 	if ce.cache == nil {
 		return MapOrdered(ce.Engine, n, fn, fold)
 	}
+	sink, flush := ce.sink()
+	defer flush()
 	if ce.Priming() {
 		keys, present := ce.probe(n, key)
 		return ce.Each(n, func(i int) error {
@@ -171,7 +194,7 @@ func CachedMap[T any](ce *CachedEngine, n int, key func(i int) string, fn func(i
 			if err != nil {
 				return err
 			}
-			store.PutJSON(ce.cache, k, v)
+			store.PutJSON(sink, k, v)
 			return nil
 		})
 	}
@@ -185,7 +208,7 @@ func CachedMap[T any](ce *CachedEngine, n int, key func(i int) string, fn func(i
 		}
 		v, err := fn(i)
 		if err == nil && k != "" {
-			store.PutJSON(ce.cache, k, v)
+			store.PutJSON(sink, k, v)
 		}
 		return v, err
 	}, fold)
@@ -226,6 +249,8 @@ func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
 		return c.Engine.Run(jobs, fold)
 	}
 	jobKey := func(i int) string { return jobs[i].CacheKey() }
+	sink, flush := c.sink()
+	defer flush()
 	if c.Priming() {
 		keys, present := c.probe(len(jobs), jobKey)
 		return c.Each(len(jobs), func(i int) error {
@@ -237,7 +262,7 @@ func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
 			if r.Err != nil {
 				return r.Err
 			}
-			store.PutJSON(c.cache, k, jobPayload{Report: r.Report})
+			store.PutJSON(sink, k, jobPayload{Report: r.Report})
 			return nil
 		})
 	}
@@ -250,7 +275,7 @@ func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
 		r := Execute(jobs[i])
 		r.Index = i
 		if r.Err == nil {
-			store.PutJSON(c.cache, k, jobPayload{Report: r.Report})
+			store.PutJSON(sink, k, jobPayload{Report: r.Report})
 		}
 		return r, nil
 	}, func(i int, r Result) error {
@@ -299,6 +324,8 @@ func (c *CachedEngine) RunSchedules(jobs []ScheduleJob, fold func(ScheduleResult
 		return c.Engine.RunSchedules(jobs, fold)
 	}
 	jobKey := func(i int) string { return jobs[i].CacheKey() }
+	sink, flush := c.sink()
+	defer flush()
 	keys := c.prefetch(len(jobs), jobKey)
 	return MapOrdered(c.Engine, len(jobs), func(i int) (ScheduleResult, error) {
 		k := keyAt(keys, jobKey, i)
@@ -311,7 +338,7 @@ func (c *CachedEngine) RunSchedules(jobs []ScheduleJob, fold func(ScheduleResult
 		r := ExecuteSchedule(jobs[i])
 		r.Index = i
 		if r.Err == nil {
-			store.PutJSON(c.cache, k, schedulePayload{Report: r.Report, Canonical: r.Canonical, Decisions: r.Decisions})
+			store.PutJSON(sink, k, schedulePayload{Report: r.Report, Canonical: r.Canonical, Decisions: r.Decisions})
 		}
 		return r, nil
 	}, func(i int, r ScheduleResult) error {

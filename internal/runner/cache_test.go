@@ -3,6 +3,7 @@ package runner_test
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -103,6 +104,161 @@ func TestCachedRunSchedulesWarm(t *testing.T) {
 	}
 	if warm[2].Canonical {
 		t.Fatalf("stalling candidate must cache as non-canonical: %+v", warm[2])
+	}
+}
+
+// countingBatchBackend is an in-memory BatchBackend + HasBatcher counting
+// point versus batched writes, so tests can pin that the engine's write
+// path travels batched.
+type countingBatchBackend struct {
+	mu         sync.Mutex
+	m          map[string][]byte
+	puts       int   // point Put calls
+	putBatches []int // entry count of each PutBatch call
+}
+
+func newCountingBatchBackend() *countingBatchBackend {
+	return &countingBatchBackend{m: make(map[string][]byte)}
+}
+
+func (b *countingBatchBackend) Get(key string) ([]byte, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, ok, nil
+}
+
+func (b *countingBatchBackend) Put(key string, val []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.puts++
+	b.m[key] = val
+	return nil
+}
+
+func (b *countingBatchBackend) Has(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.m[key]
+	return ok
+}
+
+func (b *countingBatchBackend) ForEach(fn func(key string, val []byte) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k, v := range b.m {
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *countingBatchBackend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}
+
+func (b *countingBatchBackend) Close() error { return nil }
+
+func (b *countingBatchBackend) GetBatch(keys []string) (map[string][]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := b.m[k]; ok {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+func (b *countingBatchBackend) PutBatch(entries []store.Entry) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.putBatches = append(b.putBatches, len(entries))
+	added := 0
+	for _, e := range entries {
+		if _, ok := b.m[e.Key]; !ok {
+			added++
+		}
+		b.m[e.Key] = e.Val
+	}
+	return added, nil
+}
+
+func (b *countingBatchBackend) HasBatch(keys []string) (map[string]bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if _, ok := b.m[k]; ok {
+			out[k] = true
+		}
+	}
+	return out, nil
+}
+
+// TestCachedRunBatchesWritesPerFanOut pins the write-side hot path: against
+// a batching backend a cold fan-out issues zero point puts — every executed
+// result travels in buffered batches flushed at the fan-out barrier, after
+// which the writes are durable (a prime pass that exits right after Run has
+// shared everything). Warm runs write nothing at all.
+func TestCachedRunBatchesWritesPerFanOut(t *testing.T) {
+	be := newCountingBatchBackend()
+	st := store.New(0, be)
+	defer st.Close()
+	jobs := testJobs()
+
+	plain := collectRun(t, runner.NewCached(runner.New(2), nil), jobs)
+	cold := collectRun(t, runner.NewCached(runner.New(4), st), jobs)
+	if !reflect.DeepEqual(cold, plain) {
+		t.Fatalf("buffered cold run diverged:\n%+v\nvs\n%+v", cold, plain)
+	}
+	if be.puts != 0 {
+		t.Fatalf("cold fan-out issued %d point puts, want 0 (writes must batch)", be.puts)
+	}
+	if len(be.putBatches) != 1 || be.putBatches[0] != len(jobs) {
+		t.Fatalf("cold fan-out flushed batches %v, want one batch of %d", be.putBatches, len(jobs))
+	}
+	if be.Len() != len(jobs) {
+		t.Fatalf("flush barrier left %d of %d writes undurable", len(jobs)-be.Len(), len(jobs))
+	}
+
+	warm := collectRun(t, runner.NewCached(runner.New(4), st), jobs)
+	if !reflect.DeepEqual(warm, plain) {
+		t.Fatal("warm buffered run diverged")
+	}
+	if be.puts != 0 || len(be.putBatches) != 1 {
+		t.Fatalf("warm run wrote: puts=%d batches=%v", be.puts, be.putBatches)
+	}
+
+	// A prime pass over a batching backend batches identically.
+	primeBE := newCountingBatchBackend()
+	primeSt := store.New(0, primeBE)
+	defer primeSt.Close()
+	eng := runner.NewCached(runner.New(4), primeSt).WithShard(0, 1)
+	if err := eng.Run(jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if primeBE.puts != 0 || len(primeBE.putBatches) != 1 || primeBE.Len() != len(jobs) {
+		t.Fatalf("prime pass: puts=%d batches=%v len=%d, want 0, one batch, %d",
+			primeBE.puts, primeBE.putBatches, primeBE.Len(), len(jobs))
+	}
+
+	// CachedMap batches through the same sink.
+	mapBE := newCountingBatchBackend()
+	mapSt := store.New(0, mapBE)
+	defer mapSt.Close()
+	key := func(i int) string { return store.Key(runner.CacheVersion, fmt.Sprintf("wb-unit-%d", i)) }
+	if err := runner.CachedMap(runner.NewCached(runner.New(2), mapSt), 9, key,
+		func(i int) (int, error) { return i * i, nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mapBE.puts != 0 || len(mapBE.putBatches) != 1 || mapBE.Len() != 9 {
+		t.Fatalf("CachedMap: puts=%d batches=%v len=%d, want 0, one batch, 9",
+			mapBE.puts, mapBE.putBatches, mapBE.Len())
 	}
 }
 

@@ -187,6 +187,19 @@ func (b *NDJSON) Len() int {
 	return len(b.idx)
 }
 
+// Keys returns the live key set from the in-memory index, in unspecified
+// order — no values are read. Tiered.Len uses it to count the exact union
+// of a near NDJSON tier and a far tier it cannot enumerate.
+func (b *NDJSON) Keys() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	keys := make([]string, 0, len(b.idx))
+	for k := range b.idx {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
 // Superseded returns the number of known-dead duplicate lines in the log
 // (overwrites since open plus duplicates found while rebuilding the index).
 func (b *NDJSON) Superseded() int64 {

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Router spreads one content-addressed key space across several far
+// backends — typically N independent stored instances — so the fleet's
+// shared cache scales horizontally instead of funnelling every worker
+// through one server. Each key is owned by exactly one replica, assigned
+// by the same stable hash partition sharded prime passes use (ShardOf), so
+// every process in the fleet routes every key identically and a replica
+// holds a disjoint slice of the key space. This is what `-store
+// URL1,URL2,…` mounts in the CLIs.
+//
+// Batch traffic stays batched: GetBatch / PutBatch / HasBatch split the
+// request into per-replica sub-batches, issue them concurrently, and merge
+// the replies — a whole fan-out still costs one round trip per *replica*,
+// not per key.
+//
+// Failure discipline is per replica: when one instance is down its keys
+// degrade to misses (reads) or counted write failures (writes) while the
+// other replicas keep serving theirs — the PR-3 rule that a cache
+// pathology can cost re-executions, never an answer. Degraded operations
+// are counted per replica (Failures) so a sick instance is visible in the
+// CLIs' diagnostics instead of hiding behind a silently colder cache;
+// write entries that landed nowhere are additionally counted in Degraded
+// (reads are not — a failed read is already visible as a miss).
+type Router struct {
+	replicas   []Backend
+	failures   []atomic.Int64 // per-replica degraded operations (point or batch, read or write)
+	lostWrites atomic.Int64   // write entries that failed to land (see Degraded)
+}
+
+// NewRouter routes the key space across the given backends by ShardOf.
+// The replica order is part of the partition: every process of a fleet
+// must list the same backends in the same order, or they will disagree
+// about which replica owns a key (safe — content addressing makes double
+// writes idempotent — but it wastes space and round trips). At least one
+// backend is required; a single backend routes everything to it.
+func NewRouter(replicas ...Backend) *Router {
+	if len(replicas) == 0 {
+		panic("store: NewRouter needs at least one backend")
+	}
+	return &Router{replicas: replicas, failures: make([]atomic.Int64, len(replicas))}
+}
+
+// Replicas returns the number of backends behind the router.
+func (r *Router) Replicas() int { return len(r.replicas) }
+
+// Failures returns a snapshot of per-replica degraded operations: point or
+// batch calls that failed and fell back to miss/memory-only. A nonzero
+// entry names the sick instance.
+func (r *Router) Failures() []int64 {
+	out := make([]int64, len(r.failures))
+	for i := range r.failures {
+		out[i] = r.failures[i].Load()
+	}
+	return out
+}
+
+// replicaOf returns the index of the replica owning key.
+func (r *Router) replicaOf(key string) int { return ShardOf(key, len(r.replicas)) }
+
+// group splits keys into per-replica sub-slices, preserving order.
+func (r *Router) group(keys []string) [][]string {
+	groups := make([][]string, len(r.replicas))
+	for _, k := range keys {
+		i := r.replicaOf(k)
+		groups[i] = append(groups[i], k)
+	}
+	return groups
+}
+
+// Get implements Backend, routing the lookup to the key's owner. A down
+// replica's error surfaces to the wrapping Store, which counts it and
+// serves a miss.
+func (r *Router) Get(key string) ([]byte, bool, error) {
+	i := r.replicaOf(key)
+	v, ok, err := r.replicas[i].Get(key)
+	if err != nil {
+		r.failures[i].Add(1)
+	}
+	return v, ok, err
+}
+
+// Put implements Backend, routing the write to the key's owner.
+func (r *Router) Put(key string, val []byte) error {
+	i := r.replicaOf(key)
+	if err := r.replicas[i].Put(key, val); err != nil {
+		r.failures[i].Add(1)
+		r.lostWrites.Add(1)
+		return fmt.Errorf("store: router replica %d: %w", i, err)
+	}
+	return nil
+}
+
+// Has implements Backend. A down replica reads as absent, like every other
+// presence failure in the stack.
+func (r *Router) Has(key string) bool {
+	return r.replicas[r.replicaOf(key)].Has(key)
+}
+
+// GetBatch implements BatchBackend: per-replica sub-batches issued
+// concurrently, replies merged. A failed sub-batch degrades its keys to
+// missing (the per-key Gets that follow will re-fail and count misses)
+// instead of failing the whole batch — one down replica must not cost the
+// other replicas' hits.
+func (r *Router) GetBatch(keys []string) (map[string][]byte, error) {
+	groups := r.group(keys)
+	results := make([]map[string][]byte, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g []string) {
+			defer wg.Done()
+			m, err := getBatch(r.replicas[i], g)
+			if err != nil {
+				r.failures[i].Add(1)
+				return
+			}
+			results[i] = m
+		}(i, g)
+	}
+	wg.Wait()
+	out := make(map[string][]byte, len(keys))
+	for _, m := range results {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// HasBatch implements HasBatcher with the same split/merge/degrade shape
+// as GetBatch: a down replica's keys read as absent, which only costs
+// re-executions whose identical bytes deduplicate.
+func (r *Router) HasBatch(keys []string) (map[string]bool, error) {
+	groups := r.group(keys)
+	results := make([]map[string]bool, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g []string) {
+			defer wg.Done()
+			m, err := hasBatch(r.replicas[i], g)
+			if err != nil {
+				r.failures[i].Add(1)
+				return
+			}
+			results[i] = m
+		}(i, g)
+	}
+	wg.Wait()
+	out := make(map[string]bool, len(keys))
+	for _, m := range results {
+		for k, ok := range m {
+			if ok {
+				out[k] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// PutBatch implements BatchBackend: per-replica sub-batches issued
+// concurrently. added sums the replicas that answered; a failed sub-batch
+// is counted against its replica and reported in the joined error, so a
+// push-merge surfaces partial placement instead of claiming success —
+// while a buffered write path (WriteBuffer) just counts it and moves on.
+func (r *Router) PutBatch(entries []Entry) (int, error) {
+	added, _, err := r.putBatchPlaced(entries)
+	return added, err
+}
+
+// putBatchPlaced implements placer: the lost count is exact per replica —
+// a down instance loses its sub-batch's entries, the others lose nothing,
+// successful overwrites on healthy replicas are never miscounted as lost.
+func (r *Router) putBatchPlaced(entries []Entry) (added, lost int, err error) {
+	groups := make([][]Entry, len(r.replicas))
+	for _, e := range entries {
+		i := r.replicaOf(e.Key)
+		groups[i] = append(groups[i], e)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g []Entry) {
+			defer wg.Done()
+			n, lostG, err := putBatch(r.replicas[i], g)
+			mu.Lock()
+			defer mu.Unlock()
+			added += n
+			lost += lostG
+			if err != nil {
+				r.failures[i].Add(1)
+				errs = append(errs, fmt.Errorf("store: router replica %d: %w", i, err))
+			}
+		}(i, g)
+	}
+	wg.Wait()
+	r.lostWrites.Add(int64(lost))
+	return added, lost, errors.Join(errs...)
+}
+
+// ForEach implements Backend over every replica in order. Remote replicas
+// refuse enumeration (remote.ErrNotEnumerable) and that refusal surfaces.
+func (r *Router) ForEach(fn func(key string, val []byte) error) error {
+	for _, be := range r.replicas {
+		if err := be.ForEach(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len implements Backend as the sum of the replicas: the partition is
+// disjoint by construction, so no key is counted twice. An unreachable
+// replica reads as empty and bounds the total from below.
+func (r *Router) Len() int {
+	n := 0
+	for _, be := range r.replicas {
+		n += be.Len()
+	}
+	return n
+}
+
+// Superseded sums the replicas' dead-duplicate counts.
+func (r *Router) Superseded() int64 {
+	var n int64
+	for _, be := range r.replicas {
+		if sp, ok := be.(superseder); ok {
+			n += sp.Superseded()
+		}
+	}
+	return n
+}
+
+// Degraded counts write entries that failed to land on their owner
+// replica (plus any nested composite's own count) — the partial
+// placements Stats.Degraded surfaces. Read-path failures are not
+// included: they already read as misses.
+func (r *Router) Degraded() int64 {
+	n := r.lostWrites.Load()
+	for _, be := range r.replicas {
+		if d, ok := be.(degrader); ok {
+			n += d.Degraded()
+		}
+	}
+	return n
+}
+
+// Compact implements Compactor over every replica that supports it.
+func (r *Router) Compact() (kept, dropped int, err error) {
+	for _, be := range r.replicas {
+		if c, ok := be.(Compactor); ok {
+			k, d, cerr := c.Compact()
+			kept += k
+			dropped += d
+			if cerr != nil {
+				return kept, dropped, cerr
+			}
+		}
+	}
+	return kept, dropped, nil
+}
+
+// Close implements Backend, closing every replica.
+func (r *Router) Close() error {
+	errs := make([]error, len(r.replicas))
+	for i, be := range r.replicas {
+		errs[i] = be.Close()
+	}
+	return errors.Join(errs...)
+}
+
+// hasBatch probes keys through the backend's batch path when it has one
+// and per-key Has otherwise.
+func hasBatch(be Backend, keys []string) (map[string]bool, error) {
+	if hb, ok := be.(HasBatcher); ok {
+		return hb.HasBatch(keys)
+	}
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if be.Has(k) {
+			out[k] = true
+		}
+	}
+	return out, nil
+}

@@ -75,16 +75,22 @@ type Backend interface {
 // was already stored — dead duplicate log lines found at open, overwriting
 // Puts, and Merge sources skipped because the destination already held the
 // key. Superseded entries are expected (last-write-wins over content
-// addresses), but a growing count is the signal to Compact.
+// addresses), but a growing count is the signal to Compact. Degraded
+// counts partial write placements the composite backends would otherwise
+// hide — a Tiered far-tier write that failed while the near tier landed, a
+// write sub-batch a down Router replica never took — so a fleet run that
+// silently wrote nothing remote is visible on the stats line instead of
+// succeeding. Read-path failures are not degradation; they already count
+// as misses.
 type Stats struct {
-	Hits, Misses, Puts, Corrupt, PutErrors, Superseded int64
+	Hits, Misses, Puts, Corrupt, PutErrors, Superseded, Degraded int64
 }
 
 // String renders the stats on one line (the form the CLIs print to stderr
 // and CI greps: a warm run must report misses=0).
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d stored=%d superseded=%d corrupt=%d putErrors=%d",
-		s.Hits, s.Misses, s.Puts, s.Superseded, s.Corrupt, s.PutErrors)
+	return fmt.Sprintf("hits=%d misses=%d stored=%d superseded=%d corrupt=%d putErrors=%d degraded=%d",
+		s.Hits, s.Misses, s.Puts, s.Superseded, s.Corrupt, s.PutErrors, s.Degraded)
 }
 
 // Entry is one key/value pair of a batch operation.
@@ -131,6 +137,31 @@ type Compactor interface {
 // duplicate records (see Stats.Superseded).
 type superseder interface {
 	Superseded() int64
+}
+
+// degrader is optionally implemented by composite backends (Tiered,
+// Router) that can partially fail a write — landing a value in some tiers
+// or replicas but not others — and count those degraded write placements
+// (see Stats.Degraded). Read-path failures are not degradation: they are
+// already visible as misses.
+type degrader interface {
+	Degraded() int64
+}
+
+// placer is optionally implemented by composite backends (Tiered, Router)
+// that can report batch write placement more precisely than the
+// all-or-nothing BatchBackend surface: lost counts the entries known to
+// have landed nowhere, which is what loss accounting needs — added alone
+// cannot distinguish a failed write from a successful overwrite.
+type placer interface {
+	putBatchPlaced(entries []Entry) (added, lost int, err error)
+}
+
+// keyLister is optionally implemented by backends whose key set is cheap
+// to enumerate without touching values (the NDJSON index). Tiered.Len uses
+// it to count the exact union of disjoint tiers.
+type keyLister interface {
+	Keys() []string
 }
 
 // Store is the two-tier content-addressed result store. Safe for concurrent
@@ -242,15 +273,22 @@ func (s *Store) Put(key string, val []byte) {
 	if s == nil || key == "" {
 		return
 	}
-	s.mu.Lock()
-	s.lru.put(key, val)
-	s.mu.Unlock()
-	s.puts.Add(1)
+	s.putResident(key, val)
 	if s.be != nil {
 		if err := s.be.Put(key, val); err != nil {
 			s.putErrors.Add(1)
 		}
 	}
+}
+
+// putResident is the write both paths share — the synchronous Put above
+// and the buffered WriteBuffer.Put: the value becomes LRU-resident (warm
+// for in-process reads) and counted, durability handled by the caller.
+func (s *Store) putResident(key string, val []byte) {
+	s.mu.Lock()
+	s.lru.put(key, val)
+	s.mu.Unlock()
+	s.puts.Add(1)
 }
 
 // Batched reports whether the backend can serve batch lookups in one round
@@ -423,6 +461,9 @@ func (s *Store) Stats() Stats {
 	if sp, ok := s.be.(superseder); ok {
 		st.Superseded += sp.Superseded()
 	}
+	if d, ok := s.be.(degrader); ok {
+		st.Degraded += d.Degraded()
+	}
 	return st
 }
 
@@ -573,12 +614,13 @@ func GetJSON[T any](s *Store, key string) (T, bool) {
 	return v, true
 }
 
-// PutJSON encodes v and stores it under key. Unencodable values are
-// dropped (the job simply stays uncached).
-func PutJSON[T any](s *Store, key string, v T) {
+// PutJSON encodes v and stores it under key through any write surface — a
+// Store for synchronous per-key writes, a WriteBuffer for batched ones.
+// Unencodable values are dropped (the job simply stays uncached).
+func PutJSON[T any](p Putter, key string, v T) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
-	s.Put(key, b)
+	p.Put(key, b)
 }

@@ -1,6 +1,9 @@
 package store
 
-import "errors"
+import (
+	"errors"
+	"sync/atomic"
+)
 
 // Tiered composes two Backends into one: a fast near tier (typically the
 // local NDJSON directory) in front of an authoritative far tier (typically
@@ -15,6 +18,7 @@ import "errors"
 // about values.
 type Tiered struct {
 	near, far Backend
+	degraded  atomic.Int64 // far-tier write failures the near tier absorbed
 }
 
 // NewTiered layers near in front of far. Both must be non-nil.
@@ -38,14 +42,29 @@ func (t *Tiered) Get(key string) ([]byte, bool, error) {
 // Put implements Backend, writing to both tiers. Either tier may fail
 // independently; the value is durable if at least one write landed, and a
 // combined error is returned (and counted once by the Store) only when
-// both failed.
+// both failed. A far-tier failure the near tier absorbed is not silent:
+// it is counted in Degraded (surfaced as Stats.Degraded), because a fleet
+// prime pass whose every far write fails would otherwise "succeed" while
+// sharing nothing.
 func (t *Tiered) Put(key string, val []byte) error {
 	nerr := t.near.Put(key, val)
 	ferr := t.far.Put(key, val)
+	if ferr != nil {
+		t.countFarLoss(1)
+	}
 	if nerr != nil && ferr != nil {
 		return errors.Join(nerr, ferr)
 	}
 	return nil
+}
+
+// countFarLoss records n far-tier write losses — unless the far tier
+// counts its own (a Router), in which case Degraded's nested sum already
+// carries them and counting here would double.
+func (t *Tiered) countFarLoss(n int) {
+	if _, selfCounting := t.far.(degrader); !selfCounting {
+		t.degraded.Add(int64(n))
+	}
 }
 
 // Has implements Backend.
@@ -68,14 +87,43 @@ func (t *Tiered) ForEach(fn func(key string, val []byte) error) error {
 	})
 }
 
-// Len implements Backend. The far tier is authoritative when reachable;
-// the near tier bounds the count from below when it is not.
+// Len implements Backend, counting the union of the tiers: the far count
+// plus every near key the far tier does not hold. The tiers can be
+// disjoint — a near tier primed while the fleet store was down, a far tier
+// shared with other workers — so neither count alone (nor their max) is
+// the union. Near keys are enumerated from the local index (cheap, no
+// values move) and probed against the far tier in batches; when the near
+// tier cannot list its keys, or the far probe fails, max(near, far) bounds
+// the union from below as before.
 func (t *Tiered) Len() int {
 	n, f := t.near.Len(), t.far.Len()
-	if f > n {
-		return f
+	lower := n
+	if f > lower {
+		lower = f
 	}
-	return n
+	kl, ok := t.near.(keyLister)
+	if !ok {
+		return lower
+	}
+	keys := kl.Keys()
+	onlyNear := 0
+	for len(keys) > 0 {
+		chunk := keys
+		if len(chunk) > prefetchChunk {
+			chunk = chunk[:prefetchChunk]
+		}
+		keys = keys[len(chunk):]
+		present, err := hasBatch(t.far, chunk)
+		if err != nil {
+			return lower // far probe failed; fall back to the old bound
+		}
+		for _, k := range chunk {
+			if !present[k] {
+				onlyNear++
+			}
+		}
+	}
+	return f + onlyNear
 }
 
 // GetBatch implements BatchBackend: near hits are served locally, the rest
@@ -111,14 +159,36 @@ func (t *Tiered) GetBatch(keys []string) (map[string][]byte, error) {
 // PutBatch implements BatchBackend: the near tier takes per-key writes (it
 // is local, and keys it already holds are skipped — re-merging a shard
 // must not grow its append-only log), the far tier one batch when it can
-// (the far side dedups identical rewrites itself).
+// (the far side dedups identical rewrites itself). Like Put, far-tier
+// write losses are counted in Degraded — the near writes landed, the
+// fleet saw nothing — and the error is still returned so batch callers
+// can abort or count.
 func (t *Tiered) PutBatch(entries []Entry) (int, error) {
+	added, _, err := t.putBatchPlaced(entries)
+	return added, err
+}
+
+// putBatchPlaced implements placer. lost counts entries guaranteed
+// durable in neither tier: with near and far failure sets unknowable per
+// entry, only max(0, nearLost+farLost-len) entries must have failed both.
+func (t *Tiered) putBatchPlaced(entries []Entry) (added, lost int, err error) {
+	nearLost := 0
 	for _, e := range entries {
-		if !t.near.Has(e.Key) {
-			t.near.Put(e.Key, e.Val)
+		if t.near.Has(e.Key) {
+			continue
+		}
+		if t.near.Put(e.Key, e.Val) != nil {
+			nearLost++
 		}
 	}
-	return putBatch(t.far, entries)
+	added, farLost, err := putBatch(t.far, entries)
+	if farLost > 0 {
+		t.countFarLoss(farLost)
+	}
+	if lost = nearLost + farLost - len(entries); lost < 0 {
+		lost = 0
+	}
+	return added, lost, err
 }
 
 // HasBatch implements HasBatcher: near presence is answered locally, the
@@ -136,24 +206,29 @@ func (t *Tiered) HasBatch(keys []string) (map[string]bool, error) {
 	if len(missing) == 0 {
 		return present, nil
 	}
-	if hb, ok := t.far.(HasBatcher); ok {
-		far, err := hb.HasBatch(missing)
-		if err != nil {
-			return present, nil // near answers stand; absent-by-default is safe
-		}
-		for k, ok := range far {
-			if ok {
-				present[k] = true
-			}
-		}
-		return present, nil
+	far, err := hasBatch(t.far, missing)
+	if err != nil {
+		return present, nil // near answers stand; absent-by-default is safe
 	}
-	for _, k := range missing {
-		if t.far.Has(k) {
+	for k, ok := range far {
+		if ok {
 			present[k] = true
 		}
 	}
 	return present, nil
+}
+
+// Degraded returns the far-tier write failures the near tier absorbed
+// (plus any nested composite's own count): writes that looked successful
+// to the caller but never reached the fleet store.
+func (t *Tiered) Degraded() int64 {
+	n := t.degraded.Load()
+	for _, tier := range []Backend{t.near, t.far} {
+		if d, ok := tier.(degrader); ok {
+			n += d.Degraded()
+		}
+	}
+	return n
 }
 
 // Superseded sums the tiers' dead-duplicate counts.
@@ -204,19 +279,36 @@ func getBatch(be Backend, keys []string) (map[string][]byte, error) {
 }
 
 // putBatch stores entries through the backend's batch path when it has one
-// and per-key Puts otherwise, reporting how many keys were new.
-func putBatch(be Backend, entries []Entry) (int, error) {
-	if bb, ok := be.(BatchBackend); ok {
-		return bb.PutBatch(entries)
+// and per-key Puts otherwise, reporting how many keys were new (added) and
+// how many entries are known to have failed to land on this backend
+// (lost). The two are distinct: a successful overwrite is neither added
+// nor lost — conflating them would count phantom adds (a key counted new
+// before the Put that then failed) or phantom losses (a landed overwrite
+// counted lost because added came back 0). Composite backends report
+// placement exactly (placer); a plain batch backend's failure is
+// all-or-nothing; the per-key fallback counts everything after the first
+// failure as lost.
+func putBatch(be Backend, entries []Entry) (added, lost int, err error) {
+	if pl, ok := be.(placer); ok {
+		return pl.putBatchPlaced(entries)
 	}
-	added := 0
+	if bb, ok := be.(BatchBackend); ok {
+		n, err := bb.PutBatch(entries)
+		if err != nil {
+			return n, len(entries), err // one request carried the whole batch
+		}
+		return n, 0, nil
+	}
+	landed := 0
 	for _, e := range entries {
-		if !be.Has(e.Key) {
+		isNew := !be.Has(e.Key)
+		if err := be.Put(e.Key, e.Val); err != nil {
+			return added, len(entries) - landed, err
+		}
+		landed++
+		if isNew {
 			added++
 		}
-		if err := be.Put(e.Key, e.Val); err != nil {
-			return added, err
-		}
 	}
-	return added, nil
+	return added, 0, nil
 }

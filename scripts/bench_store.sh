@@ -19,7 +19,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkStoreGetPut$' -benchmem ./internal/store >"$tmp"
-go test -run '^$' -bench 'BenchmarkRemoteMGet$|BenchmarkRemoteGet$' -benchmem ./internal/remote >>"$tmp"
+go test -run '^$' -bench 'BenchmarkRemoteMGet$|BenchmarkRemoteGet$|BenchmarkRemoteMPut$|BenchmarkRemotePut$' -benchmem ./internal/remote >>"$tmp"
 
 go_version="$(go env GOVERSION)"
 awk -v go_version="$go_version" '
