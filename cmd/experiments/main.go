@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/remote"
 )
 
@@ -96,12 +97,18 @@ func run(args []string, w io.Writer) error {
 		shardArg = fs.String("shard", "", "i/m: prime only shard i of m's keys into the store and print no tables")
 		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
 	)
+	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	stopProf, err := profFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	// -only must fail loudly on typos: an unknown or duplicate ID means the
 	// invocation is not measuring what its author thinks it is.

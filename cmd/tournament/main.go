@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/perm"
+	"repro/internal/prof"
 	"repro/internal/remote"
 	"repro/internal/runner"
 	"repro/internal/store"
@@ -90,12 +91,18 @@ func run(args []string, w io.Writer) error {
 		shardArg = fs.String("shard", "", "i/m: run only shard i of m's (algo, n) cells into the store, no stdout")
 		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
 	)
+	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	stopProf, err := profFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cli, err := remote.MountFlags(os.Stderr, "tournament", *cacheDir, *storeURL, *shardArg, *mergeArg)
 	if err != nil {

@@ -32,6 +32,12 @@ import "fmt"
 type GreedyCost struct {
 	rr  int   // rotating tie-break cursor
 	age []int // decisions since each process was last scheduled
+
+	// scratch is the reusable lookahead system: score re-seeds it from the
+	// live system (System.copyFrom) and steps it without trace recording,
+	// so one decision costs zero allocations instead of n full clones each
+	// of which would privatize the whole recorded trace on its first step.
+	scratch *System
 }
 
 // NewGreedyCost returns a greedy cost-maximizing scheduler.
@@ -78,25 +84,30 @@ func (g *GreedyCost) Next(s *System) int {
 // the error instead of reporting a stall).
 const minScore = -1 << 30
 
-// score executes process i's pending step on a clone of the system and
-// counts the immediate SC charge plus the net induced charges on the other
-// processes' pending reads.
+// score executes process i's pending step on the reusable scratch system
+// and counts the immediate SC charge plus the net induced charges on the
+// other processes' pending reads. The scratch is re-seeded from s before
+// every candidate, so the speculative step never touches the live system.
 func (g *GreedyCost) score(s *System, i int) int {
-	clone := s.Clone()
-	if _, err := clone.Step(i); err != nil {
+	if g.scratch == nil {
+		g.scratch = s.Clone()
+	}
+	g.scratch.copyFrom(s)
+	step, changed, err := g.scratch.stepNoRecord(i)
+	if err != nil {
 		return minScore + 1
 	}
 	score := 0
-	if changed := clone.Changed(); clone.Trace()[len(clone.Trace())-1].IsShared() && changed[len(changed)-1] {
+	if step.IsShared() && changed {
 		score += 2
 	}
 	for j := 0; j < s.N(); j++ {
-		if j == i || s.Halted(j) || clone.Halted(j) {
+		if j == i || s.Halted(j) || g.scratch.Halted(j) {
 			continue
 		}
 		// Only pending reads can flip: WouldChangeState is constant (true)
 		// for writes, RMWs and critical steps, contributing nothing here.
-		before, after := s.WouldChangeState(j), clone.WouldChangeState(j)
+		before, after := s.WouldChangeState(j), g.scratch.WouldChangeState(j)
 		switch {
 		case after && !before:
 			score++

@@ -79,23 +79,23 @@ func (r *Replayer) Apply(step model.Step) (model.Step, error) {
 	if pending.IsShared() && (pending.Reg < 0 || int(pending.Reg) >= r.regs.Len()) {
 		return model.Step{}, fmt.Errorf("machine: replay: register %d out of range [0,%d)", pending.Reg, r.regs.Len())
 	}
-	before := a.StateKey()
+	var changed bool
 	switch pending.Kind {
 	case model.KindRead:
 		v := r.regs.Read(pending.Reg)
 		pending.Val = v
-		a.Feed(v)
+		changed = a.FeedChanged(v)
 	case model.KindWrite:
 		r.regs.Write(pending.Reg, pending.Val)
-		a.Feed(0)
+		changed = a.FeedChanged(0)
 	case model.KindRMW:
 		old := r.regs.ApplyRMW(pending.Reg, pending.RMW, pending.Arg1, pending.Arg2)
 		pending.Val = old
-		a.Feed(old)
+		changed = a.FeedChanged(old)
 	case model.KindCrit:
-		a.Feed(0)
+		changed = a.FeedChanged(0)
 	}
-	if pending.IsShared() && a.StateKey() != before {
+	if pending.IsShared() && changed {
 		r.scCost++
 	}
 	r.applied++

@@ -143,55 +143,94 @@ func (s *System) WouldChangeState(i int) bool {
 	}
 }
 
+// Reserve grows the trace and changed arenas to hold at least steps entries
+// without reallocating, so a run whose length is bounded (every run: the
+// driver always has a horizon) appends into preallocated storage and the
+// steady-state Step path allocates nothing. Reserving less than the
+// eventual length is safe — append falls back to its usual geometric
+// growth — so callers cap the reservation rather than pre-paying a worst
+// case horizon that canonical runs never reach.
+func (s *System) Reserve(steps int) {
+	if steps <= cap(s.trace)-len(s.trace) {
+		return
+	}
+	trace := make(model.Execution, len(s.trace), len(s.trace)+steps)
+	copy(trace, s.trace)
+	s.trace = trace
+	changed := make([]bool, len(s.changed), len(s.changed)+steps)
+	copy(changed, s.changed)
+	s.changed = changed
+}
+
 // Step executes process i's pending step, appends it to the trace, and
 // returns the executed step (with read results filled in). It returns an
 // error if the process is halted or violates well-formedness.
 func (s *System) Step(i int) (model.Step, error) {
+	step, changed, err := s.stepNoRecord(i)
+	if err != nil {
+		return model.Step{}, err
+	}
+	s.trace = append(s.trace, step)
+	s.changed = append(s.changed, changed)
+	return step, nil
+}
+
+// stepNoRecord executes process i's pending step without appending to the
+// trace arenas, reporting whether the step changed the acting process's
+// state (the SC model's per-step charge). It is the allocation-free core of
+// Step, and what the greedy adversary's scratch lookahead calls directly —
+// a lookahead needs the step and its charge, not a trace it will throw away
+// (recording on a clipped copy-on-write clone would reallocate and copy the
+// entire shared history on every candidate).
+func (s *System) stepNoRecord(i int) (model.Step, bool, error) {
 	if i < 0 || i >= s.N() {
-		return model.Step{}, fmt.Errorf("machine: no process %d", i)
+		return model.Step{}, false, fmt.Errorf("machine: no process %d", i)
 	}
 	a := s.automata[i]
 	if a.Halted() {
-		return model.Step{}, fmt.Errorf("machine: process %d is halted", i)
+		return model.Step{}, false, fmt.Errorf("machine: process %d is halted", i)
 	}
 	step := a.PendingStep()
 	if step.IsShared() && (step.Reg < 0 || int(step.Reg) >= s.regs.Len()) {
-		return model.Step{}, fmt.Errorf("machine: process %d: register %d out of range [0,%d)", i, step.Reg, s.regs.Len())
+		return model.Step{}, false, fmt.Errorf("machine: process %d: register %d out of range [0,%d)", i, step.Reg, s.regs.Len())
 	}
-	before := a.StateKey()
+	var changed bool
 	switch step.Kind {
 	case model.KindRead:
 		v := s.regs.Read(step.Reg)
 		step.Val = v
-		a.Feed(v)
+		changed = a.FeedChanged(v)
 	case model.KindWrite:
 		s.regs.Write(step.Reg, step.Val)
-		a.Feed(0)
+		changed = a.FeedChanged(0)
 	case model.KindRMW:
 		old := s.regs.ApplyRMW(step.Reg, step.RMW, step.Arg1, step.Arg2)
 		step.Val = old
-		a.Feed(old)
+		changed = a.FeedChanged(old)
 	case model.KindCrit:
 		if err := s.applyCrit(i, step.Crit); err != nil {
-			return model.Step{}, err
+			return model.Step{}, false, err
 		}
-		a.Feed(0)
+		changed = a.FeedChanged(0)
 	}
-	s.trace = append(s.trace, step)
-	s.changed = append(s.changed, a.StateKey() != before)
-	return step, nil
+	return step, changed, nil
+}
+
+// critWant maps each critical step kind to the section a process must be in
+// to take it — the well-formedness cycle try → enter → exit → rem as a
+// static table (a per-step map literal here was the simulator's single
+// largest allocation source).
+var critWant = [4]Section{
+	model.CritTry:   SecRemainder,
+	model.CritEnter: SecTrying,
+	model.CritExit:  SecCritical,
+	model.CritRem:   SecExit,
 }
 
 // applyCrit advances process i's protocol section, enforcing the
 // well-formedness cycle try → enter → exit → rem.
 func (s *System) applyCrit(i int, c model.CritKind) error {
-	want := map[model.CritKind]Section{
-		model.CritTry:   SecRemainder,
-		model.CritEnter: SecTrying,
-		model.CritExit:  SecCritical,
-		model.CritRem:   SecExit,
-	}[c]
-	if s.section[i] != want {
+	if int(c) >= len(critWant) || s.section[i] != critWant[c] {
 		return fmt.Errorf("machine: process %d: %s step while in %s section", i, c, s.section[i])
 	}
 	switch c {
@@ -211,11 +250,15 @@ func (s *System) applyCrit(i int, c model.CritKind) error {
 
 // Clone returns an independent copy of the system in its current state.
 // Automata, registers, sections and counters are deep-copied; the recorded
-// trace and changed flags are shared copy-on-write (full slice expressions
-// clip their capacity, so the first Step on either system reallocates
-// rather than overwriting the other's history). Cloning therefore costs
-// O(n + registers), not O(trace) — cheap enough for schedulers that do
-// per-decision lookahead (GreedyCost).
+// trace and changed flags are shared copy-on-write. The three-index slice
+// expressions clip the clone's capacity at its length, so the histories
+// stay isolated even though the parent's arena (see Reserve) may extend
+// beyond the clip point: the clone's first Step must reallocate into
+// private storage, while the parent keeps appending in place past indices
+// the clone can never observe. Cloning therefore costs O(n + registers),
+// not O(trace); a clone that then Steps pays O(trace) once to privatize
+// its history, which is why per-decision lookahead uses the scratch
+// copyFrom path instead.
 func (s *System) Clone() *System {
 	automata := make([]*program.Automaton, len(s.automata))
 	for i, a := range s.automata {
@@ -231,6 +274,36 @@ func (s *System) Clone() *System {
 		csEntries: append([]int(nil), s.csEntries...),
 		csDone:    append([]int(nil), s.csDone...),
 	}
+}
+
+// copyFrom overwrites this system's mutable state with src's, reusing every
+// buffer the receiver already owns — the zero-alloc re-seed a lookahead
+// scheduler performs on its scratch system before each speculative step.
+// The trace arenas are not copied: a scratch system exists to answer "what
+// would this step change?", via stepNoRecord, and carries no history. The
+// receiver must come from Clone (or copyFrom) of a system with the same
+// factory shape; NewGreedyCost maintains exactly one such scratch.
+func (s *System) copyFrom(src *System) {
+	s.factory = src.factory
+	if len(s.automata) != len(src.automata) {
+		s.automata = make([]*program.Automaton, len(src.automata))
+		for i, a := range src.automata {
+			s.automata[i] = a.Clone()
+		}
+	} else {
+		for i, a := range src.automata {
+			s.automata[i].CopyFrom(a)
+		}
+	}
+	if s.regs == nil {
+		s.regs = src.regs.Clone()
+	} else {
+		s.regs.CopyFrom(src.regs)
+	}
+	s.trace, s.changed = nil, nil
+	s.section = append(s.section[:0], src.section...)
+	s.csEntries = append(s.csEntries[:0], src.csEntries...)
+	s.csDone = append(s.csDone[:0], src.csDone...)
 }
 
 // InCriticalSection returns the process currently in its critical section,

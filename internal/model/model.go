@@ -310,6 +310,17 @@ func (r *Registers) Clone() *Registers {
 	return &Registers{vals: r.Snapshot()}
 }
 
+// CopyFrom overwrites this register file's contents with src's, reusing the
+// receiver's storage when the sizes match — the zero-alloc counterpart of
+// Clone for lookahead schedulers that re-seed one scratch file per decision.
+func (r *Registers) CopyFrom(src *Registers) {
+	if cap(r.vals) < len(src.vals) {
+		r.vals = make([]Value, len(src.vals))
+	}
+	r.vals = r.vals[:len(src.vals)]
+	copy(r.vals, src.vals)
+}
+
 // ApplyRMW atomically applies a read-modify-write primitive to register id
 // and returns the value the primitive reads (the old value).
 func (r *Registers) ApplyRMW(id RegID, kind RMWKind, arg1, arg2 Value) Value {

@@ -1,0 +1,74 @@
+// Package prof registers the standard pprof profile flags on a CLI's flag
+// set and manages the profile lifecycle around its run. Both drivers
+// (cmd/experiments, cmd/tournament) mount it, so any regression the
+// benchmarks surface can be chased straight to source lines on the same
+// workload that showed it:
+//
+//	experiments -quick -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations a CLI registered.
+type Flags struct {
+	cpu, mem *string
+}
+
+// Register adds -cpuprofile and -memprofile to fs. Parse fs before Start.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)"),
+		mem: fs.String("memprofile", "", "write a heap allocation profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given and returns a stop
+// function to defer around the measured work; stop finishes the CPU
+// profile and snapshots the heap to -memprofile. Profiling failures are
+// reported on errw (the CLI's diagnostic stream, so the data stream stays
+// clean) rather than aborting the run a profile was merely observing.
+func (f *Flags) Start(errw io.Writer) (stop func(), err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	memPath := *f.mem
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(errw, "prof: cpuprofile:", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		mf, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(errw, "prof: memprofile:", err)
+			return
+		}
+		runtime.GC() // settle the live set so the snapshot shows retained memory
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(errw, "prof: memprofile:", err)
+		}
+		if err := mf.Close(); err != nil {
+			fmt.Fprintln(errw, "prof: memprofile:", err)
+		}
+	}, nil
+}

@@ -1,0 +1,63 @@
+package prof_test
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/prof"
+)
+
+// TestProfilesWritten drives the flag → Start → stop lifecycle and checks
+// both profile files come out non-empty (pprof files start with a gzip
+// header, so non-empty means a real profile was serialized).
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := prof.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some allocation work so the heap profile has something to say.
+	var keep [][]byte
+	for i := 0; i < 1000; i++ {
+		keep = append(keep, []byte(strings.Repeat("x", 100)))
+	}
+	_ = keep
+	stop()
+
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s: empty profile", p)
+		}
+	}
+}
+
+// TestNoFlagsIsNoOp: without the flags, Start must do nothing and stop
+// must be safe to call.
+func TestNoFlagsIsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := prof.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}

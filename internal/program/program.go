@@ -264,6 +264,12 @@ type Automaton struct {
 	pc     int
 	env    []model.Value
 	halted bool
+
+	// scratch is a reusable pre-state snapshot buffer for FeedChanged and
+	// WouldChangeState, so the per-step state-change test of the SC cost
+	// model allocates nothing in steady state. It is never part of the
+	// automaton's state: Clone and CopyFrom ignore it.
+	scratch []model.Value
 }
 
 // maxLocalOps bounds the number of local instructions executed during one
@@ -388,6 +394,57 @@ func (a *Automaton) Clone() *Automaton {
 	return &Automaton{prog: a.prog, proc: a.proc, pc: a.pc, env: env, halted: a.halted}
 }
 
+// CopyFrom overwrites this automaton's state with src's, reusing the
+// receiver's buffers when shapes allow — the zero-alloc counterpart of
+// Clone for schedulers that re-seed one scratch automaton per lookahead
+// instead of allocating a fresh copy per candidate decision.
+func (a *Automaton) CopyFrom(src *Automaton) {
+	a.prog, a.proc, a.pc, a.halted = src.prog, src.proc, src.pc, src.halted
+	if cap(a.env) < len(src.env) {
+		a.env = make([]model.Value, len(src.env))
+	}
+	a.env = a.env[:len(src.env)]
+	copy(a.env, src.env)
+}
+
+// snapshot records the automaton's current state into the reusable scratch
+// buffer and returns (pc, halted) — everything stateChangedSince needs.
+func (a *Automaton) snapshot() (pc int, halted bool) {
+	if cap(a.scratch) < len(a.env) {
+		a.scratch = make([]model.Value, len(a.env))
+	}
+	a.scratch = a.scratch[:len(a.env)]
+	copy(a.scratch, a.env)
+	return a.pc, a.halted
+}
+
+// stateChangedSince reports whether the automaton state differs from the
+// snapshot. Comparing (pc, env, halted) directly is exactly StateKey
+// inequality — StateKey is injective on those fields — without building
+// either string.
+func (a *Automaton) stateChangedSince(pc int, halted bool) bool {
+	if a.pc != pc || a.halted != halted {
+		return true
+	}
+	for i, v := range a.env {
+		if v != a.scratch[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// FeedChanged is Feed plus the SC cost model's question: it applies the
+// result of the pending step and reports whether the automaton's state
+// (pc, locals, halted) changed across it. It is the allocation-free
+// replacement for the StateKey-before/StateKey-after comparison on the
+// simulator's per-step hot path.
+func (a *Automaton) FeedChanged(v model.Value) bool {
+	pc, halted := a.snapshot()
+	a.Feed(v)
+	return a.stateChangedSince(pc, halted)
+}
+
 // StateKey returns a canonical fingerprint of the automaton state. Two
 // automata for the same program have equal StateKeys iff they are in the
 // same state. The state change cost model charges a shared-memory step
@@ -416,8 +473,14 @@ func (a *Automaton) WouldChangeState(v model.Value) bool {
 	if in.Op != OpCRead && in.Op != OpCRMW {
 		panic(fmt.Sprintf("program %q: process %d: WouldChangeState at non-read pc=%d", a.prog.Name, a.proc, a.pc))
 	}
-	before := a.StateKey()
-	c := a.Clone()
-	c.Feed(v)
-	return c.StateKey() != before
+	// Speculatively feed, compare, and roll back through the scratch
+	// snapshot — the schedulers that poll every pending read per decision
+	// (ProgressFirst, GreedyCost) ask this O(n) times per step, so it must
+	// not clone or build state strings.
+	pc, halted := a.snapshot()
+	a.Feed(v)
+	changed := a.stateChangedSince(pc, halted)
+	a.pc, a.halted = pc, halted
+	copy(a.env, a.scratch)
+	return changed
 }

@@ -1,0 +1,191 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary record framing — the compact alternative to NDJSON batch bodies,
+// negotiated per request entirely through standard content negotiation
+// under the protocol version header: a batch request declares its own body
+// framing in Content-Type and the framings it can decode in Accept; the
+// server answers in the densest framing the request accepts. Because every
+// response carries X-Result-Store-Protocol and the client refuses
+// mismatched generations, both ends of a conversation that reaches a
+// handler are guaranteed to agree on what the binary framing means; a
+// (hypothetical) v1 server predating it answers a binary body with 415 and
+// the client transparently re-sends that request as NDJSON and stops
+// offering binary bodies to that server.
+//
+// The framing, inside the usual gzip Content-Encoding:
+//
+//	magic "RSB1", then per record:
+//	  uvarint(len(key))   key bytes
+//	  uvarint(len(value)) value bytes
+//
+// Key-only batches (mget/mhas requests, mhas replies) are the same framing
+// with zero-length values. Values are the store's canonical JSON payloads,
+// carried verbatim — no quoting, escaping, or per-line JSON parse — so a
+// 64-key mget reply is one sequential scan instead of 64 Unmarshals.
+const binaryContentType = "application/x-rsbin"
+
+// binaryMagic starts every binary batch body; a framing mismatch fails on
+// the first four bytes instead of producing garbage records.
+var binaryMagic = [4]byte{'R', 'S', 'B', '1'}
+
+// maxBinaryRecordBytes bounds one decoded key or value, mirroring the
+// NDJSON scanner's 64 MB line cap.
+const maxBinaryRecordBytes = 64 << 20
+
+// errBadMagic reports a body that does not start with the binary magic.
+var errBadMagic = errors.New("remote: binary batch body lacks RSB1 magic")
+
+// binaryEncoder writes framed records through a pooled buffered writer.
+// Flush must be called (and the encoder released) before the underlying
+// writer is closed.
+type binaryEncoder struct {
+	bw     *bufio.Writer
+	varbuf [binary.MaxVarintLen64]byte
+	err    error
+}
+
+// newBinaryEncoder starts a binary batch body on w, writing the magic.
+func newBinaryEncoder(w io.Writer) *binaryEncoder {
+	e := &binaryEncoder{bw: getBufioWriter(w)}
+	_, e.err = e.bw.Write(binaryMagic[:])
+	return e
+}
+
+// writeChunk writes one uvarint-length-prefixed byte string.
+func (e *binaryEncoder) writeChunk(b []byte) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.varbuf[:], uint64(len(b)))
+	if _, e.err = e.bw.Write(e.varbuf[:n]); e.err != nil {
+		return
+	}
+	_, e.err = e.bw.Write(b)
+}
+
+// Record appends one key/value record; val may be nil for key-only batches.
+func (e *binaryEncoder) Record(key string, val []byte) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.varbuf[:], uint64(len(key)))
+	if _, e.err = e.bw.Write(e.varbuf[:n]); e.err != nil {
+		return
+	}
+	if _, e.err = e.bw.WriteString(key); e.err != nil {
+		return
+	}
+	e.writeChunk(val)
+}
+
+// Flush completes the body, returning the first error hit anywhere in the
+// encode, and releases the pooled writer. The encoder must not be used
+// afterwards.
+func (e *binaryEncoder) Flush() error {
+	err := e.err
+	if flushErr := e.bw.Flush(); err == nil {
+		err = flushErr
+	}
+	putBufioWriter(e.bw)
+	e.bw = nil
+	return err
+}
+
+// binaryDecoder reads framed records through a pooled buffered reader.
+type binaryDecoder struct {
+	br *bufio.Reader
+}
+
+// newBinaryDecoder checks the magic and returns a decoder over r.
+func newBinaryDecoder(r io.Reader) (*binaryDecoder, error) {
+	br := getBufioReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != binaryMagic {
+		putBufioReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("remote: reading binary magic: %w", err)
+		}
+		return nil, errBadMagic
+	}
+	return &binaryDecoder{br: br}, nil
+}
+
+// readChunk reads one uvarint-length-prefixed byte string into a fresh
+// slice (the caller retains it). A nil slice is returned for length zero.
+func (d *binaryDecoder) readChunk() ([]byte, error) {
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBinaryRecordBytes {
+		return nil, fmt.Errorf("remote: binary record of %d bytes exceeds cap", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.br, b); err != nil {
+		return nil, fmt.Errorf("remote: truncated binary record: %w", err)
+	}
+	return b, nil
+}
+
+// Next returns the next record, or ok=false at a clean end of stream. The
+// returned val is nil for key-only records.
+func (d *binaryDecoder) Next() (key string, val []byte, ok bool, err error) {
+	kb, err := d.readChunk()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return "", nil, false, nil // clean end between records
+		}
+		return "", nil, false, err
+	}
+	val, err = d.readChunk()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF // a key without its value length
+		}
+		return "", nil, false, fmt.Errorf("remote: binary record for key %q: %w", kb, err)
+	}
+	return string(kb), val, true, nil
+}
+
+// Close releases the pooled reader. The decoder must not be used afterwards.
+func (d *binaryDecoder) Close() {
+	putBufioReader(d.br)
+	d.br = nil
+}
+
+// recordSink abstracts over the two batch framings so batch producers —
+// client request bodies, server reply bodies — are written once. A nil val
+// emits a key-only record.
+type recordSink interface {
+	Record(key string, val []byte) error
+}
+
+// ndjsonSink writes records as the protocol's NDJSON lines.
+type ndjsonSink struct{ enc *json.Encoder }
+
+func (s ndjsonSink) Record(key string, val []byte) error {
+	if val == nil {
+		return s.enc.Encode(wireKey{K: key})
+	}
+	return s.enc.Encode(wireRecord{K: key, V: json.RawMessage(val)})
+}
+
+// binarySink writes records in the binary framing.
+type binarySink struct{ enc *binaryEncoder }
+
+func (s binarySink) Record(key string, val []byte) error {
+	s.enc.Record(key, val)
+	return s.enc.err
+}

@@ -1,0 +1,283 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestBinaryCodecRoundTrip pins the framing itself: what the encoder
+// writes, the decoder returns verbatim — including key-only records and
+// values large enough to span the buffered reader's internal buffer.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	records := []struct {
+		k string
+		v []byte
+	}{
+		{"a", []byte(`{"x":1}`)},
+		{"key-only", nil},
+		{"big", bytes.Repeat([]byte("v"), 1<<20)},
+		{"after-big", []byte(`"tail"`)},
+	}
+	var buf bytes.Buffer
+	enc := newBinaryEncoder(&buf)
+	for _, r := range records {
+		enc.Record(r.k, r.v)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := newBinaryDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	for _, want := range records {
+		k, v, ok, err := dec.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next() = %q, %v, %v; want record %q", k, ok, err, want.k)
+		}
+		if k != want.k || !bytes.Equal(v, want.v) {
+			t.Fatalf("record %q decoded as %q with %d value bytes, want %d", want.k, k, len(v), len(want.v))
+		}
+	}
+	if _, _, ok, err := dec.Next(); ok || err != nil {
+		t.Fatalf("after last record: ok=%v err=%v, want clean end", ok, err)
+	}
+}
+
+// TestBinaryDecoderRejectsGarbage pins the failure modes: a wrong magic is
+// an immediate error, and a truncated record surfaces as an error rather
+// than a silent short read.
+func TestBinaryDecoderRejectsGarbage(t *testing.T) {
+	if _, err := newBinaryDecoder(strings.NewReader(`{"k":"ndjson"}`)); err == nil {
+		t.Fatal("NDJSON body accepted as binary")
+	}
+	var buf bytes.Buffer
+	enc := newBinaryEncoder(&buf)
+	enc.Record("k", []byte(`"value"`))
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := newBinaryDecoder(bytes.NewReader(buf.Bytes()[:buf.Len()-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	if _, _, _, err := dec.Next(); err == nil {
+		t.Fatal("truncated record decoded without error")
+	}
+}
+
+func openBinaryTestServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ts := httptest.NewServer(NewServer(st))
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func testEntries(n int) []store.Entry {
+	entries := make([]store.Entry, n)
+	for i := range entries {
+		entries[i] = store.Entry{
+			Key: fmt.Sprintf("key-%03d", i),
+			Val: []byte(fmt.Sprintf(`{"result":%d,"pad":%q}`, i, strings.Repeat("x", i))),
+		}
+	}
+	return entries
+}
+
+// TestBinaryAndNDJSONBatchesAgree is the framing-equivalence check: a
+// binary-speaking client and a client latched to NDJSON must observe the
+// exact same store through every batch endpoint, byte for byte.
+func TestBinaryAndNDJSONBatchesAgree(t *testing.T) {
+	ts, _ := openBinaryTestServer(t)
+	binClient, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonClient, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonClient.noBinary.Store(true)
+
+	entries := testEntries(64)
+	added, err := binClient.PutBatch(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != len(entries) {
+		t.Fatalf("binary mput added %d, want %d", added, len(entries))
+	}
+	if binClient.noBinary.Load() {
+		t.Fatal("server rejected the binary framing")
+	}
+	// Idempotent re-push through the NDJSON framing: same bytes, zero added.
+	if added, err := jsonClient.PutBatch(entries); err != nil || added != 0 {
+		t.Fatalf("NDJSON re-push: added=%d err=%v, want 0, nil", added, err)
+	}
+
+	keys := make([]string, 0, len(entries)+1)
+	for _, e := range entries {
+		keys = append(keys, e.Key)
+	}
+	keys = append(keys, "absent")
+	binGot, err := binClient.GetBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonGot, err := jsonClient.GetBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(binGot, jsonGot) {
+		t.Fatal("binary and NDJSON mget disagree")
+	}
+	for _, e := range entries {
+		if !bytes.Equal(binGot[e.Key], e.Val) {
+			t.Fatalf("mget %s: got %s, want %s", e.Key, binGot[e.Key], e.Val)
+		}
+	}
+	if _, ok := binGot["absent"]; ok {
+		t.Fatal("mget invented a value for an absent key")
+	}
+	binHas, err := binClient.HasBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonHas, err := jsonClient.HasBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(binHas, jsonHas) || len(binHas) != len(entries) {
+		t.Fatalf("binary/NDJSON mhas disagree: %d vs %d present", len(binHas), len(jsonHas))
+	}
+}
+
+// TestServerRepliesInAcceptedFraming pins the negotiation rule on the
+// server side: the reply framing follows the request's Accept header, so
+// plain-NDJSON peers (and curl) never see binary bytes.
+func TestServerRepliesInAcceptedFraming(t *testing.T) {
+	ts, st := openBinaryTestServer(t)
+	st.Put("k", []byte(`{"v":1}`))
+
+	for _, tc := range []struct {
+		accept, wantCT string
+	}{
+		{binaryContentType, binaryContentType},
+		{ndjsonContentType, ndjsonContentType},
+		{"", ndjsonContentType},
+	} {
+		var body bytes.Buffer
+		if err := encodeBatchBody(&body, false, encodeKeySet([]string{"k"})); err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/mget", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ndjsonContentType)
+		req.Header.Set("Content-Encoding", "gzip")
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		drainClose(resp)
+		if resp.StatusCode != http.StatusOK || ct != tc.wantCT {
+			t.Fatalf("Accept %q: got %s with Content-Type %q, want 200 %q", tc.accept, resp.Status, ct, tc.wantCT)
+		}
+	}
+}
+
+// TestServerRejectsUnknownBatchContentType pins the 415 that drives client
+// fallback: a framing the server does not speak must be refused before any
+// of the body is interpreted.
+func TestServerRejectsUnknownBatchContentType(t *testing.T) {
+	ts, _ := openBinaryTestServer(t)
+	for _, path := range []string{"/v1/mget", "/v1/mhas", "/v1/mput"} {
+		resp, err := http.Post(ts.URL+path, "application/x-futurebin", strings.NewReader("??"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		status := resp.StatusCode
+		drainClose(resp)
+		if status != http.StatusUnsupportedMediaType {
+			t.Fatalf("%s with unknown content type: got %d, want 415", path, status)
+		}
+	}
+}
+
+// TestClientFallsBackToNDJSON simulates servers that do not speak the
+// binary framing — one that answers it with a proper 415, and a pre-binary
+// one whose NDJSON parser chokes with a 400 — and requires the client to
+// re-send the same batch as NDJSON, succeed, and stop offering binary.
+func TestClientFallsBackToNDJSON(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		status int
+	}{
+		{"415-unsupported", http.StatusUnsupportedMediaType},
+		{"400-legacy-parse-error", http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := store.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			srv := NewServer(st)
+			var binaryBodies, ndjsonBodies int
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if strings.HasPrefix(r.Header.Get("Content-Type"), binaryContentType) {
+					binaryBodies++
+					w.Header().Set(VersionHeader, ProtocolVersion)
+					http.Error(w, "no binary here", tc.status)
+					return
+				}
+				if r.Method == http.MethodPost {
+					ndjsonBodies++
+				}
+				srv.ServeHTTP(w, r)
+			}))
+			defer ts.Close()
+
+			c, err := NewClient(ts.URL, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries := testEntries(8)
+			if added, err := c.PutBatch(entries); err != nil || added != len(entries) {
+				t.Fatalf("PutBatch through fallback: added=%d err=%v", added, err)
+			}
+			if !c.noBinary.Load() {
+				t.Fatal("client did not latch NDJSON after the server refused binary")
+			}
+			got, err := c.GetBatch([]string{entries[0].Key})
+			if err != nil || !bytes.Equal(got[entries[0].Key], entries[0].Val) {
+				t.Fatalf("GetBatch after fallback: %v, %v", got, err)
+			}
+			if binaryBodies != 1 {
+				t.Fatalf("client offered binary %d times after refusal, want exactly 1", binaryBodies)
+			}
+			if ndjsonBodies != 2 {
+				t.Fatalf("saw %d NDJSON batch bodies, want 2 (re-sent mput + mget)", ndjsonBodies)
+			}
+		})
+	}
+}

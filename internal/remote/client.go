@@ -2,7 +2,6 @@ package remote
 
 import (
 	"bytes"
-	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,8 +49,9 @@ type Options struct {
 //   - Concurrent Gets of one key coalesce into a single in-flight request
 //     whose result every caller shares — a sweep fanning out over workers
 //     that all want the same entry costs one round trip.
-//   - GetBatch / PutBatch move whole sweeps in single gzipped NDJSON
-//     bodies (store.Store.Prefetch and Merge use them).
+//   - GetBatch / PutBatch move whole sweeps in single gzipped batch
+//     bodies (store.Store.Prefetch and Merge use them) — binary-framed
+//     when the server speaks it, NDJSON otherwise (see binary.go).
 //   - Every request has a bounded retry budget; after it is spent the
 //     failure is returned and the wrapping Store counts it as a miss
 //     (reads) or degrades to memory-only (writes) — the PR-3 discipline:
@@ -60,6 +60,11 @@ type Client struct {
 	base    string
 	hc      *http.Client
 	retries int
+
+	// noBinary latches when the server rejects the binary batch framing
+	// (415/400 on a binary body): every later batch from this client goes
+	// straight to NDJSON instead of paying the probe again.
+	noBinary atomic.Bool
 
 	mu       sync.Mutex
 	inflight map[string]*inflightGet
@@ -158,12 +163,12 @@ func (c *Client) do(method, path string, body []byte, hdr map[string]string) (*h
 			continue
 		}
 		if resp.StatusCode >= 500 {
-			resp.Body.Close()
+			drainClose(resp)
 			lastErr = fmt.Errorf("remote: %s %s: server error %s", method, path, resp.Status)
 			continue
 		}
 		if got := resp.Header.Get(VersionHeader); got != ProtocolVersion {
-			resp.Body.Close()
+			drainClose(resp)
 			return nil, fmt.Errorf("remote: %s is not a stored v%s endpoint (protocol header %q)", c.base, ProtocolVersion, got)
 		}
 		return resp, nil
@@ -195,6 +200,16 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 	return f.val, f.ok, f.err
 }
 
+// drainClose reads a response body to EOF and closes it. Leaving unread
+// bytes behind makes net/http tear down the TCP connection instead of
+// returning it to the keep-alive pool, so every point op would pay a fresh
+// dial + TLS handshake; draining is what keeps one connection serving a
+// whole run's traffic.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
 // getOnce is the uncoalesced point lookup.
 func (c *Client) getOnce(key string) ([]byte, bool, error) {
 	c.gets.Add(1)
@@ -202,7 +217,7 @@ func (c *Client) getOnce(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var rec wireRecord
@@ -231,7 +246,7 @@ func (c *Client) Put(key string, val []byte) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("remote: put %s: unexpected %s", key, resp.Status)
 	}
@@ -246,70 +261,135 @@ func (c *Client) Has(key string) bool {
 	if err != nil {
 		return false
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	return resp.StatusCode == http.StatusNoContent
 }
 
-// gzipNDJSON encodes one gzipped NDJSON batch body.
-func gzipNDJSON(encode func(enc *json.Encoder) error) ([]byte, error) {
-	var buf bytes.Buffer
-	zw := gzip.NewWriter(&buf)
-	if err := encode(json.NewEncoder(zw)); err != nil {
-		return nil, err
-	}
-	if err := zw.Close(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-// batchHeaders are the headers of every batch request: gzipped NDJSON out,
-// gzipped NDJSON welcomed back.
-func batchHeaders() map[string]string {
-	return map[string]string{
+// batchHeaders are the headers of one batch request: the body framing in
+// Content-Type, the framings the client decodes in Accept, gzip both ways.
+func batchHeaders(binary bool) map[string]string {
+	h := map[string]string{
 		"Content-Type":     ndjsonContentType,
 		"Content-Encoding": "gzip",
 		"Accept-Encoding":  "gzip",
+		"Accept":           ndjsonContentType,
 	}
+	if binary {
+		h["Content-Type"] = binaryContentType
+		h["Accept"] = binaryContentType + ", " + ndjsonContentType
+	}
+	return h
 }
 
-// keyBatch posts a gzipped NDJSON key list to path and hands the
-// (un-gzipped) NDJSON reply to scan, one parsed line at a time.
-func (c *Client) keyBatch(path string, keys []string, scan func(line []byte) error) error {
-	body, err := gzipNDJSON(func(enc *json.Encoder) error {
-		for _, k := range keys {
-			if err := enc.Encode(wireKey{K: k}); err != nil {
-				return err
-			}
+// encodeBatchBody writes one gzipped batch body into buf in the requested
+// framing, streaming records straight into the pooled compressor — the
+// only whole-batch buffer is the compressed one the retry loop replays.
+func encodeBatchBody(buf *bytes.Buffer, binary bool, encode func(recordSink) error) error {
+	zw := getGzipWriter(buf)
+	defer putGzipWriter(zw)
+	var err error
+	if binary {
+		enc := newBinaryEncoder(zw)
+		err = encode(binarySink{enc})
+		if flushErr := enc.Flush(); err == nil {
+			err = flushErr
 		}
-		return nil
-	})
-	if err != nil {
+	} else {
+		err = encode(ndjsonSink{json.NewEncoder(zw)})
+	}
+	if closeErr := zw.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+// postBatch posts one batch body, preferring the binary framing until the
+// server declines it — a 415 (or a pre-binary server's 400) on a binary
+// body re-sends the same batch as NDJSON and latches noBinary — then hands
+// the 200 response to handleReply. The body is drained and closed after
+// handleReply returns.
+func (c *Client) postBatch(path string, encode func(recordSink) error, handleReply func(*http.Response) error) error {
+	binary := !c.noBinary.Load()
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := encodeBatchBody(buf, binary, encode); err != nil {
 		return fmt.Errorf("remote: %s: %w", path, err)
 	}
-	resp, err := c.do(http.MethodPost, path, body, batchHeaders())
+	resp, err := c.do(http.MethodPost, path, buf.Bytes(), batchHeaders(binary))
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	if binary && (resp.StatusCode == http.StatusUnsupportedMediaType || resp.StatusCode == http.StatusBadRequest) {
+		drainClose(resp)
+		c.noBinary.Store(true)
+		buf.Reset()
+		if err := encodeBatchBody(buf, false, encode); err != nil {
+			return fmt.Errorf("remote: %s: %w", path, err)
+		}
+		resp, err = c.do(http.MethodPost, path, buf.Bytes(), batchHeaders(false))
+		if err != nil {
+			return err
+		}
+	}
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("remote: %s: unexpected %s", path, resp.Status)
 	}
+	return handleReply(resp)
+}
+
+// scanBatchReply streams a record-list reply body — either framing,
+// optionally gzipped — to scan, one record at a time; val is nil on
+// key-only lines. parseLine interprets NDJSON lines (the two reply shapes
+// carry different JSON), while the binary framing needs no per-endpoint
+// parser.
+func scanBatchReply(path string, resp *http.Response, parseLine func([]byte) (string, []byte, error), scan func(key string, val []byte) error) error {
 	rd := io.Reader(resp.Body)
 	if resp.Header.Get("Content-Encoding") == "gzip" {
-		zr, err := gzip.NewReader(resp.Body)
+		zr, err := getGzipReader(resp.Body)
 		if err != nil {
 			return fmt.Errorf("remote: %s: %w", path, err)
 		}
-		defer zr.Close()
-		rd = zr
+		pz := &pooledGzipReadCloser{zr: zr}
+		defer pz.Close()
+		rd = pz
 	}
-	sc := batchScanner(rd)
-	for sc.Scan() {
-		if line := sc.Bytes(); len(line) > 0 {
-			if err := scan(line); err != nil {
+	ct := resp.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if strings.TrimSpace(ct) == binaryContentType {
+		dec, err := newBinaryDecoder(rd)
+		if err != nil {
+			return fmt.Errorf("remote: %s: %w", path, err)
+		}
+		defer dec.Close()
+		for {
+			k, v, more, err := dec.Next()
+			if err != nil {
+				return fmt.Errorf("remote: %s: %w", path, err)
+			}
+			if !more {
+				return nil
+			}
+			if err := scan(k, v); err != nil {
 				return err
 			}
+		}
+	}
+	sc, release := batchScanner(rd)
+	defer release()
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		k, v, err := parseLine(line)
+		if err != nil {
+			return err
+		}
+		if err := scan(k, v); err != nil {
+			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -318,18 +398,47 @@ func (c *Client) keyBatch(path string, keys []string, scan func(line []byte) err
 	return nil
 }
 
+// encodeKeySet is the batch body of mget and mhas: one key-only record per
+// requested key.
+func encodeKeySet(keys []string) func(recordSink) error {
+	return func(sink recordSink) error {
+		for _, k := range keys {
+			if err := sink.Record(k, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// parseRecordLine interprets one NDJSON {"k":...,"v":...} reply line.
+func parseRecordLine(line []byte) (string, []byte, error) {
+	var rec wireRecord
+	if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" {
+		return "", nil, fmt.Errorf("remote: bad record line %q", line)
+	}
+	return rec.K, rec.V, nil
+}
+
+// parseKeyLine interprets one NDJSON {"k":...} reply line.
+func parseKeyLine(line []byte) (string, []byte, error) {
+	var k wireKey
+	if err := json.Unmarshal(line, &k); err != nil || k.K == "" {
+		return "", nil, fmt.Errorf("remote: bad key line %q", line)
+	}
+	return k.K, nil, nil
+}
+
 // GetBatch implements store.BatchBackend: one gzipped /v1/mget round trip
 // for the whole key set.
 func (c *Client) GetBatch(keys []string) (map[string][]byte, error) {
 	c.gets.Add(int64(len(keys)))
 	out := make(map[string][]byte, len(keys))
-	err := c.keyBatch("/v1/mget", keys, func(line []byte) error {
-		var rec wireRecord
-		if err := json.Unmarshal(line, &rec); err != nil || rec.K == "" {
-			return fmt.Errorf("remote: mget: bad record line %q", line)
-		}
-		out[rec.K] = rec.V
-		return nil
+	err := c.postBatch("/v1/mget", encodeKeySet(keys), func(resp *http.Response) error {
+		return scanBatchReply("/v1/mget", resp, parseRecordLine, func(k string, v []byte) error {
+			out[k] = v
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -342,13 +451,11 @@ func (c *Client) GetBatch(keys []string) (map[string][]byte, error) {
 // which is what a prime pass deciding what to execute wants.
 func (c *Client) HasBatch(keys []string) (map[string]bool, error) {
 	out := make(map[string]bool, len(keys))
-	err := c.keyBatch("/v1/mhas", keys, func(line []byte) error {
-		var k wireKey
-		if err := json.Unmarshal(line, &k); err != nil || k.K == "" {
-			return fmt.Errorf("remote: mhas: bad key line %q", line)
-		}
-		out[k.K] = true
-		return nil
+	err := c.postBatch("/v1/mhas", encodeKeySet(keys), func(resp *http.Response) error {
+		return scanBatchReply("/v1/mhas", resp, parseKeyLine, func(k string, _ []byte) error {
+			out[k] = true
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -360,28 +467,22 @@ func (c *Client) HasBatch(keys []string) (map[string]bool, error) {
 // for the whole entry set, reporting how many keys were new to the server.
 func (c *Client) PutBatch(entries []store.Entry) (int, error) {
 	c.puts.Add(int64(len(entries)))
-	body, err := gzipNDJSON(func(enc *json.Encoder) error {
+	var pr PutReply
+	err := c.postBatch("/v1/mput", func(sink recordSink) error {
 		for _, e := range entries {
-			if err := enc.Encode(wireRecord{K: e.Key, V: json.RawMessage(e.Val)}); err != nil {
+			if err := sink.Record(e.Key, e.Val); err != nil {
 				return err
 			}
 		}
 		return nil
+	}, func(resp *http.Response) error {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			return fmt.Errorf("remote: mput: %w", err)
+		}
+		return nil
 	})
 	if err != nil {
-		return 0, fmt.Errorf("remote: mput: %w", err)
-	}
-	resp, err := c.do(http.MethodPost, "/v1/mput", body, batchHeaders())
-	if err != nil {
 		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("remote: mput: unexpected %s", resp.Status)
-	}
-	var pr PutReply
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return 0, fmt.Errorf("remote: mput: %w", err)
 	}
 	return pr.Added, nil
 }
@@ -395,7 +496,7 @@ func (c *Client) Ping() (StatsReply, error) {
 	if err != nil {
 		return StatsReply{}, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	var sr StatsReply
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return StatsReply{}, fmt.Errorf("remote: stats: %w", err)
@@ -410,7 +511,7 @@ func (c *Client) Compact() (kept, dropped int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return 0, 0, fmt.Errorf("remote: compact: unexpected %s", resp.Status)
 	}

@@ -24,6 +24,14 @@
 // refuses to talk through a version (or a non-stored endpoint) it does not
 // understand.
 //
+// Within protocol generation 1, batch endpoints additionally accept and
+// serve a compact binary record framing (see binary.go), negotiated per
+// request through Content-Type and Accept. NDJSON remains the baseline
+// every peer speaks: a server answers an unknown batch Content-Type with
+// 415, and the client then re-sends that batch as NDJSON and stops
+// offering binary to that server. curl, dumps and old peers keep working
+// unchanged.
+//
 // Write semantics are the store's: per-key last-write-wins, safe because
 // keys are content addresses — two correct writers of one key wrote the
 // same bytes. The server still compares old and new value bytes on every
@@ -38,7 +46,6 @@
 package remote
 
 import (
-	"compress/gzip"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -124,14 +131,15 @@ type errorReply struct {
 
 // requestBody returns the request body, transparently ungzipping when the
 // sender declared Content-Encoding: gzip, and bounded by maxBodyBytes.
+// The decompressor comes from the shared pool; Close returns it.
 func requestBody(w http.ResponseWriter, r *http.Request) (io.ReadCloser, error) {
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if r.Header.Get("Content-Encoding") != "gzip" {
 		return body, nil
 	}
-	zr, err := gzip.NewReader(body)
+	zr, err := getGzipReader(body)
 	if err != nil {
 		return nil, err
 	}
-	return zr, nil
+	return &pooledGzipReadCloser{zr: zr}, nil
 }

@@ -167,16 +167,41 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	reply(w, http.StatusOK, PutReply{Added: added, Conflicts: conflicts})
 }
 
-// batchScanner wraps a batch body in a line scanner sized for big values.
-func batchScanner(body io.Reader) *bufio.Scanner {
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
-	return sc
+// batchScanner wraps a batch body in a line scanner sized for big values,
+// starting from a pooled buffer; release must run when scanning is done.
+func batchScanner(body io.Reader) (sc *bufio.Scanner, release func()) {
+	sc = bufio.NewScanner(body)
+	buf := getScanBuf()
+	sc.Buffer(*buf, 64<<20)
+	return sc, func() { putScanBuf(buf) }
 }
 
-// readKeys decodes an NDJSON key-list batch body; a false return means the
-// error response has already been written.
+// batchFraming classifies a batch request's body framing from its
+// Content-Type. An unrecognized type gets 415 — the signal a binary-first
+// client's fallback distinguishes from a malformed body — and false.
+// Absent and generic JSON types read as NDJSON, the protocol baseline.
+func batchFraming(w http.ResponseWriter, r *http.Request) (binary, ok bool) {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(ct) {
+	case binaryContentType:
+		return true, true
+	case "", ndjsonContentType, "application/json":
+		return false, true
+	}
+	replyError(w, http.StatusUnsupportedMediaType, "unsupported batch content type %q", r.Header.Get("Content-Type"))
+	return false, false
+}
+
+// readKeys decodes a key-list batch body in either framing; a false return
+// means the error response has already been written.
 func (s *Server) readKeys(w http.ResponseWriter, r *http.Request) ([]string, bool) {
+	binary, ok := batchFraming(w, r)
+	if !ok {
+		return nil, false
+	}
 	body, err := requestBody(w, r)
 	if err != nil {
 		replyError(w, http.StatusBadRequest, "bad body: %v", err)
@@ -184,7 +209,31 @@ func (s *Server) readKeys(w http.ResponseWriter, r *http.Request) ([]string, boo
 	}
 	defer body.Close()
 	var keys []string
-	sc := batchScanner(body)
+	if binary {
+		dec, err := newBinaryDecoder(body)
+		if err != nil {
+			replyError(w, http.StatusBadRequest, "bad binary body: %v", err)
+			return nil, false
+		}
+		defer dec.Close()
+		for {
+			k, _, more, err := dec.Next()
+			if err != nil {
+				replyError(w, http.StatusBadRequest, "bad binary key record: %v", err)
+				return nil, false
+			}
+			if !more {
+				return keys, true
+			}
+			if k == "" {
+				replyError(w, http.StatusBadRequest, "empty key record")
+				return nil, false
+			}
+			keys = append(keys, k)
+		}
+	}
+	sc, release := batchScanner(body)
+	defer release()
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -204,18 +253,39 @@ func (s *Server) readKeys(w http.ResponseWriter, r *http.Request) ([]string, boo
 	return keys, true
 }
 
-// ndjsonWriter starts a 200 NDJSON response, gzipped when the client
-// accepts it; the returned close must run before the handler exits.
-func ndjsonWriter(w http.ResponseWriter, r *http.Request) (out io.Writer, closeFn func()) {
-	w.Header().Set("Content-Type", ndjsonContentType)
-	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+// batchReplyWriter starts a 200 batch reply in the densest framing the
+// request accepts — binary when its Accept lists the binary type, NDJSON
+// otherwise — gzipped (through the pooled compressor) when the client
+// accepts gzip. The returned close must run before the handler exits.
+func batchReplyWriter(w http.ResponseWriter, r *http.Request) (recordSink, func()) {
+	binary := strings.Contains(r.Header.Get("Accept"), binaryContentType)
+	gz := strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+	if binary {
+		w.Header().Set("Content-Type", binaryContentType)
+	} else {
+		w.Header().Set("Content-Type", ndjsonContentType)
+	}
+	if gz {
 		w.Header().Set("Content-Encoding", "gzip")
-		zw := gzip.NewWriter(w)
-		w.WriteHeader(http.StatusOK)
-		return zw, func() { zw.Close() }
 	}
 	w.WriteHeader(http.StatusOK)
-	return w, func() {}
+	out := io.Writer(w)
+	var zw *gzip.Writer
+	if gz {
+		zw = getGzipWriter(w)
+		out = zw
+	}
+	closeGzip := func() {
+		if zw != nil {
+			zw.Close()
+			putGzipWriter(zw)
+		}
+	}
+	if binary {
+		enc := newBinaryEncoder(out)
+		return binarySink{enc}, func() { enc.Flush(); closeGzip() }
+	}
+	return ndjsonSink{json.NewEncoder(out)}, closeGzip
 }
 
 func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
@@ -224,12 +294,11 @@ func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	out, closeOut := ndjsonWriter(w, r)
+	sink, closeOut := batchReplyWriter(w, r)
 	defer closeOut()
-	enc := json.NewEncoder(out)
 	for _, k := range keys {
 		if v, ok := s.st.Get(k); ok {
-			if err := enc.Encode(wireRecord{K: k, V: v}); err != nil {
+			if err := sink.Record(k, v); err != nil {
 				return // client went away; nothing left to report to it
 			}
 		}
@@ -245,12 +314,11 @@ func (s *Server) handleMHas(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	out, closeOut := ndjsonWriter(w, r)
+	sink, closeOut := batchReplyWriter(w, r)
 	defer closeOut()
-	enc := json.NewEncoder(out)
 	for _, k := range keys {
 		if s.st.Has(k) {
-			if err := enc.Encode(wireKey{K: k}); err != nil {
+			if err := sink.Record(k, nil); err != nil {
 				return
 			}
 		}
@@ -259,6 +327,10 @@ func (s *Server) handleMHas(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
 	s.req.mput.Add(1)
+	binary, ok := batchFraming(w, r)
+	if !ok {
+		return
+	}
 	body, err := requestBody(w, r)
 	if err != nil {
 		replyError(w, http.StatusBadRequest, "bad body: %v", err)
@@ -266,7 +338,35 @@ func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
 	}
 	defer body.Close()
 	var total PutReply
-	sc := batchScanner(body)
+	if binary {
+		dec, err := newBinaryDecoder(body)
+		if err != nil {
+			replyError(w, http.StatusBadRequest, "bad binary body: %v", err)
+			return
+		}
+		defer dec.Close()
+		for {
+			k, v, more, err := dec.Next()
+			if err != nil {
+				replyError(w, http.StatusBadRequest, "bad binary record: %v", err)
+				return
+			}
+			if !more {
+				break
+			}
+			if k == "" || len(v) == 0 {
+				replyError(w, http.StatusBadRequest, "binary record needs key and value")
+				return
+			}
+			added, conflicts := s.storeOne(k, v)
+			total.Added += added
+			total.Conflicts += conflicts
+		}
+		reply(w, http.StatusOK, total)
+		return
+	}
+	sc, release := batchScanner(body)
+	defer release()
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
