@@ -9,14 +9,30 @@
 //
 //	stored -dir /var/result-store                  # serve on 127.0.0.1:9200
 //	stored -dir DIR -addr 0.0.0.0:9200             # fleet-reachable
+//	stored -dir DIR -name a -ring 'a=URL,b=URL*2' -epoch 1
+//	                                               # serve as ring member "a"
+//	                                               # of a weighted fleet
+//	stored -rebalance -ring 'a=U1,b=U2,c=U3' -epoch 2
+//	                                               # re-place a live fleet:
+//	                                               # install the ring on every
+//	                                               # member, then drain each
+//	stored -drain DIR -name a -ring SPEC -epoch N  # offline: push DIR's keys
+//	                                               # that a no longer owns to
+//	                                               # their owners, then exit
 //	stored -compact DIR                            # maintenance: rewrite the
 //	                                               # NDJSON log dropping dead
 //	                                               # records, then exit
 //
+// Lifecycle: -max-bytes and -max-age bound the store (oldest results are
+// evicted first; an evicted result only ever costs its re-execution), and
+// the log auto-compacts whenever superseded+dead bytes cross -compact-frac
+// of the file. Both run on the -maintain cadence while serving.
+//
 // The first stdout line is "stored: listening on http://ADDR" (with the
 // resolved port when -addr ends in :0), so scripts can scrape the address.
 // SIGINT/SIGTERM drain the listener and close the store cleanly. A running
-// server can also be compacted in place via POST /v1/compact.
+// server can also be compacted in place via POST /v1/compact, and joins
+// ring-based placement via GET/POST /v1/ring and POST /v1/drain.
 package main
 
 import (
@@ -55,6 +71,18 @@ func run(args []string, w io.Writer) error {
 		dir        = fs.String("dir", "", "store directory (created if missing)")
 		lruEntries = fs.Int("lru", 0, "LRU tier capacity in entries; 0 = default")
 		compactDir = fs.String("compact", "", "maintenance mode: compact the store in DIR and exit")
+
+		name     = fs.String("name", "", "this replica's ring member name (hashing identity; required for -drain and to serve drains)")
+		ringSpec = fs.String("ring", "", "placement ring spec: name=url[*weight],… (see store.ParseRingSpec)")
+		epoch    = fs.Uint64("epoch", 0, "ring epoch for -ring (a resize must use a larger epoch than the fleet's current one)")
+
+		drainDir  = fs.String("drain", "", "offline migration: push every key in DIR that -name no longer owns under -ring to its owner, then exit")
+		rebalance = fs.Bool("rebalance", false, "live migration: install -ring on every member, drain each, then exit")
+
+		maxBytes    = fs.Int64("max-bytes", 0, "evict oldest results when the live log exceeds this many bytes; 0 = unbounded")
+		maxAge      = fs.Duration("max-age", 0, "evict results older than this; 0 = keep forever")
+		compactFrac = fs.Float64("compact-frac", 0.5, "auto-compact when reclaimable bytes exceed this fraction of the log")
+		maintain    = fs.Duration("maintain", time.Minute, "lifecycle cadence: how often eviction and auto-compaction run while serving")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -65,6 +93,49 @@ func run(args []string, w io.Writer) error {
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	var ring *store.Ring
+	if *ringSpec != "" {
+		var err error
+		if ring, err = store.ParseRingSpec(*epoch, *ringSpec); err != nil {
+			return err
+		}
+		if *name != "" && ring.Index(*name) == -1 && *drainDir == "" {
+			return fmt.Errorf("-name %q is not a member of -ring %s (only a decommissioning -drain may be outside it)", *name, ring)
+		}
+	}
+
+	if *rebalance {
+		if ring == nil {
+			return fmt.Errorf("-rebalance requires -ring (and the -epoch the fleet should move to)")
+		}
+		if err := remote.Rebalance(ring, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "stored: rebalanced fleet onto %s\n", ring)
+		return nil
+	}
+
+	if *drainDir != "" {
+		if ring == nil || *name == "" {
+			return fmt.Errorf("-drain requires -ring and -name (whose keys stay put)")
+		}
+		if *dir != "" {
+			return fmt.Errorf("-drain is a maintenance mode; it does not combine with -dir")
+		}
+		st, err := store.Open(*drainDir, *lruEntries)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		dr, err := remote.DrainStore(st, ring, *name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "stored: drained %s as %q: moved=%d deleted=%d kept=%d\n",
+			*drainDir, *name, dr.Moved, dr.Deleted, dr.Kept)
+		return nil
 	}
 
 	if *compactDir != "" {
@@ -86,12 +157,15 @@ func run(args []string, w io.Writer) error {
 
 	if *dir == "" {
 		fs.Usage()
-		return fmt.Errorf("-dir is required (or -compact DIR for maintenance)")
+		return fmt.Errorf("-dir is required (or -compact/-drain DIR, or -rebalance, for maintenance)")
 	}
-	st, err := store.Open(*dir, *lruEntries)
+	// Open the backend directly (not store.Open) to keep the NDJSON handle:
+	// the lifecycle loop drives eviction and byte accounting through it.
+	be, err := store.OpenNDJSON(*dir)
 	if err != nil {
 		return err
 	}
+	st := store.New(*lruEntries, be)
 	defer st.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -101,11 +175,63 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "stored: listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(w, "stored: serving %s (%d entries)\n", *dir, st.Len())
 
-	srv := &http.Server{Handler: remote.NewServer(st)}
+	handler := remote.NewServer(st)
+	if *name != "" {
+		handler.SetSelf(*name)
+	}
+	if ring != nil {
+		if err := handler.InstallRing(ring); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "stored: placement %s\n", ring)
+	}
+
+	srv := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Lifecycle loop: age/size eviction and auto-compaction on a cadence.
+	// Eviction only de-indexes (an evicted result costs its re-execution,
+	// nothing more); compaction reclaims the dead bytes eviction and
+	// overwrites leave behind, through the server's locked compact so it
+	// cannot race a put's check-then-write.
+	maintainDone := make(chan struct{})
+	go func() {
+		defer close(maintainDone)
+		ticker := time.NewTicker(*maintain)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-testShutdown:
+				return
+			case <-ticker.C:
+			}
+			if *maxAge > 0 {
+				if n := be.EvictOlderThan(time.Now().Add(-*maxAge)); n > 0 {
+					fmt.Fprintf(w, "stored: evicted %d entries older than %s\n", n, *maxAge)
+				}
+			}
+			if *maxBytes > 0 {
+				if n := be.EvictToSize(*maxBytes); n > 0 {
+					fmt.Fprintf(w, "stored: evicted %d entries to fit %d bytes\n", n, *maxBytes)
+				}
+			}
+			if size := be.SizeBytes(); size > 0 && *compactFrac > 0 {
+				if frac := float64(be.DeadBytes()) / float64(size); frac > *compactFrac {
+					kept, dropped, err := handler.CompactStore()
+					if err != nil {
+						fmt.Fprintf(w, "stored: auto-compact failed: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(w, "stored: auto-compacted (%.0f%% dead): kept=%d dropped=%d\n", frac*100, kept, dropped)
+				}
+			}
+		}
+	}()
 
 	select {
 	case err := <-serveErr:
@@ -118,6 +244,7 @@ func run(args []string, w io.Writer) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
+	<-maintainDone
 	fmt.Fprintf(w, "stored: drained, %d entries stored\n", st.Len())
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,11 @@ type Client struct {
 
 	mu       sync.Mutex
 	inflight map[string]*inflightGet
+
+	// seenEpoch is the maximum ring epoch any response from this server
+	// has carried — the staleness signal: a client that mounted under
+	// epoch E and later sees E' > E is routing by an outdated ring.
+	seenEpoch atomic.Uint64
 
 	gets, puts, coalesced, retried, netErrors atomic.Int64
 }
@@ -170,6 +176,14 @@ func (c *Client) do(method, path string, body []byte, hdr map[string]string) (*h
 		if got := resp.Header.Get(VersionHeader); got != ProtocolVersion {
 			drainClose(resp)
 			return nil, fmt.Errorf("remote: %s is not a stored v%s endpoint (protocol header %q)", c.base, ProtocolVersion, got)
+		}
+		if e, perr := strconv.ParseUint(resp.Header.Get(EpochHeader), 10, 64); perr == nil {
+			for {
+				seen := c.seenEpoch.Load()
+				if e <= seen || c.seenEpoch.CompareAndSwap(seen, e) {
+					break
+				}
+			}
 		}
 		return resp, nil
 	}
@@ -502,6 +516,77 @@ func (c *Client) Ping() (StatsReply, error) {
 		return StatsReply{}, fmt.Errorf("remote: stats: %w", err)
 	}
 	return sr, nil
+}
+
+// SeenEpoch returns the maximum ring epoch any response from this server
+// has carried (0 before the first response, and for ring-less servers).
+func (c *Client) SeenEpoch() uint64 { return c.seenEpoch.Load() }
+
+// FetchRing retrieves the server's installed placement ring. A server
+// with no ring installed returns (nil, nil) — the caller falls back to
+// flag-order placement.
+func (c *Client) FetchRing() (*store.Ring, error) {
+	resp, err := c.do(http.MethodGet, "/v1/ring", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ring store.Ring
+		if err := json.NewDecoder(resp.Body).Decode(&ring); err != nil {
+			return nil, fmt.Errorf("remote: ring: %w", err)
+		}
+		if err := ring.Validate(); err != nil {
+			return nil, fmt.Errorf("remote: ring: %w", err)
+		}
+		return &ring, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("remote: ring: unexpected %s", resp.Status)
+	}
+}
+
+// InstallRing posts ring to the server as the authoritative placement.
+// The server refuses stale epochs and conflicting same-epoch rings.
+func (c *Client) InstallRing(ring *store.Ring) error {
+	body, err := json.Marshal(ring)
+	if err != nil {
+		return fmt.Errorf("remote: install ring: %w", err)
+	}
+	resp, err := c.do(http.MethodPost, "/v1/ring", body, map[string]string{"Content-Type": "application/json"})
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		var er errorReply
+		json.NewDecoder(resp.Body).Decode(&er)
+		return fmt.Errorf("remote: install ring: %s (%s)", resp.Status, er.Error)
+	}
+	return nil
+}
+
+// Drain asks the server to push every key it no longer owns under its
+// installed ring to the new owners and delete the local copies that
+// landed (see DrainStore).
+func (c *Client) Drain() (DrainReply, error) {
+	resp, err := c.do(http.MethodPost, "/v1/drain", nil, nil)
+	if err != nil {
+		return DrainReply{}, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		var er errorReply
+		json.NewDecoder(resp.Body).Decode(&er)
+		return DrainReply{}, fmt.Errorf("remote: drain: %s (%s)", resp.Status, er.Error)
+	}
+	var dr DrainReply
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return DrainReply{}, fmt.Errorf("remote: drain: %w", err)
+	}
+	return dr, nil
 }
 
 // Compact asks the server to compact its log, returning live entries kept

@@ -15,6 +15,17 @@
 //	POST /v1/mput        ← NDJSON {"k":KEY,"v":VALUE}      → 200 {"added":a,"conflicts":c}
 //	GET  /v1/stats       → 200 StatsReply
 //	POST /v1/compact     → 200 {"kept":k,"dropped":d}
+//	GET  /v1/ring        → 200 store.Ring JSON | 404 (no ring installed)
+//	POST /v1/ring        ← store.Ring JSON                 → 200 {"epoch":e} | 409 (stale epoch)
+//	POST /v1/drain       → 200 DrainReply
+//
+// Placement travels with the traffic: every response carries the server's
+// installed ring epoch in the X-Result-Store-Epoch header (0 when no ring
+// is installed), so a client that mounted under an older epoch notices the
+// resize on its very next batch instead of quietly mis-routing until
+// remount. /v1/ring serves and installs the authoritative placement ring;
+// /v1/drain makes the server stream every key it no longer owns to the
+// new owners (batched mput) and delete its copies once they land.
 //
 // Batch bodies (/v1/mget, /v1/mput) are gzipped in both directions —
 // declared with the standard Content-Encoding / Accept-Encoding headers —
@@ -59,6 +70,11 @@ const ProtocolVersion = "1"
 // VersionHeader is the response header naming the server's protocol
 // generation.
 const VersionHeader = "X-Result-Store-Protocol"
+
+// EpochHeader is the response header carrying the server's installed ring
+// epoch on every reply ("0" when no ring is installed). Clients track the
+// maximum seen and compare it against the epoch they mounted under.
+const EpochHeader = "X-Result-Store-Epoch"
 
 // ndjsonContentType labels batch bodies.
 const ndjsonContentType = "application/x-ndjson"
@@ -113,15 +129,33 @@ type RequestStats struct {
 	MHas    int64 `json:"mhas"`
 	MPut    int64 `json:"mput"`
 	Compact int64 `json:"compact"`
+	Ring    int64 `json:"ring"`
+	Drain   int64 `json:"drain"`
 }
 
 // StatsReply answers /v1/stats.
 type StatsReply struct {
 	Protocol  string       `json:"protocol"`
 	Len       int          `json:"len"`
+	Epoch     uint64       `json:"epoch"`
 	Conflicts int64        `json:"conflicts"`
 	Requests  RequestStats `json:"requests"`
 	Store     StoreStats   `json:"store"`
+}
+
+// RingReply answers POST /v1/ring: the epoch now installed.
+type RingReply struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// DrainReply answers /v1/drain: how many foreign keys the server pushed
+// to their owners (moved), deleted locally after the push landed, and how
+// many keys it still owns (kept). A drain on a server whose every key is
+// its own is a successful no-op (moved=0).
+type DrainReply struct {
+	Moved   int `json:"moved"`
+	Deleted int `json:"deleted"`
+	Kept    int `json:"kept"`
 }
 
 // errorReply is the JSON body of every non-2xx response.

@@ -546,7 +546,7 @@ func TestMountRouterSpreadsKeySpace(t *testing.T) {
 			auth1.Len(), auth2.Len(), st.Len(), n)
 	}
 	for i, k := range keys {
-		owner := store.ShardOf(k, 2)
+		owner := store.FlagRing(ts1.URL, ts2.URL).Owner(k)
 		if got := []*store.Store{auth1, auth2}[owner].Has(k); !got {
 			t.Fatalf("key %d not on its owner replica %d", i, owner)
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,8 +29,12 @@ type Server struct {
 	putMu     sync.Mutex // serializes conflict-check + write per put
 	conflicts atomic.Int64
 	req       struct {
-		get, has, put, mget, mhas, mput, compact atomic.Int64
+		get, has, put, mget, mhas, mput, compact, ring, drain atomic.Int64
 	}
+
+	ringMu sync.RWMutex
+	ring   *store.Ring // nil until a ring is installed (flag or /v1/ring)
+	self   string      // this replica's member name in the ring ("" = unnamed)
 }
 
 // NewServer wraps st in the versioned HTTP protocol. The server owns the
@@ -45,14 +50,93 @@ func NewServer(st *store.Store) *Server {
 	s.mux.HandleFunc("POST /v1/mput", s.handleMPut)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
+	s.mux.HandleFunc("GET /v1/ring", s.handleRingGet)
+	s.mux.HandleFunc("POST /v1/ring", s.handleRingPost)
+	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	return s
 }
 
 // ServeHTTP implements http.Handler, stamping every response with the
-// protocol version before dispatch.
+// protocol version and the installed ring epoch before dispatch — a
+// stale client learns about a resize from its very next reply.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(VersionHeader, ProtocolVersion)
+	w.Header().Set(EpochHeader, strconv.FormatUint(s.epoch(), 10))
 	s.mux.ServeHTTP(w, r)
+}
+
+// SetSelf names this replica: the ring member identity the server drains
+// as. cmd/stored sets it from -name before serving.
+func (s *Server) SetSelf(name string) {
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	s.self = name
+}
+
+// Self returns the replica's member name ("" when unnamed).
+func (s *Server) Self() string {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return s.self
+}
+
+// Ring returns the installed placement ring (nil when none).
+func (s *Server) Ring() *store.Ring {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	return s.ring
+}
+
+// epoch returns the installed ring's epoch, 0 when no ring is installed.
+func (s *Server) epoch() uint64 {
+	s.ringMu.RLock()
+	defer s.ringMu.RUnlock()
+	if s.ring == nil {
+		return 0
+	}
+	return s.ring.Epoch
+}
+
+// InstallRing installs r as the authoritative placement. Epochs must be
+// monotonic: a ring older than the installed one is refused (the caller
+// raced a newer resize), re-installing the same epoch is an idempotent
+// no-op only when the membership matches byte-for-byte — two *different*
+// rings claiming one epoch would split the fleet's placement brain.
+func (s *Server) InstallRing(r *store.Ring) error {
+	if r == nil {
+		return fmt.Errorf("remote: nil ring")
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	if s.ring != nil {
+		if r.Epoch < s.ring.Epoch {
+			return fmt.Errorf("remote: stale ring epoch %d (installed %d)", r.Epoch, s.ring.Epoch)
+		}
+		if r.Epoch == s.ring.Epoch {
+			if sameRing(r, s.ring) {
+				return nil
+			}
+			return fmt.Errorf("remote: conflicting ring at epoch %d (a resize must bump the epoch)", r.Epoch)
+		}
+	}
+	s.ring = r
+	return nil
+}
+
+// sameRing reports member-for-member equality.
+func sameRing(a, b *store.Ring) bool {
+	if len(a.Members) != len(b.Members) {
+		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Conflicts returns the number of writes that overwrote a key with
@@ -70,6 +154,8 @@ func (s *Server) Requests() RequestStats {
 		MHas:    s.req.mhas.Load(),
 		MPut:    s.req.mput.Load(),
 		Compact: s.req.compact.Load(),
+		Ring:    s.req.ring.Load(),
+		Drain:   s.req.drain.Load(),
 	}
 }
 
@@ -393,6 +479,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reply(w, http.StatusOK, StatsReply{
 		Protocol:  ProtocolVersion,
 		Len:       s.st.Len(),
+		Epoch:     s.epoch(),
 		Conflicts: s.conflicts.Load(),
 		Requests:  s.Requests(),
 		Store: StoreStats{
@@ -404,16 +491,78 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	s.req.compact.Add(1)
-	// Hold the write lock: a storeOne racing the file swap could Peek an
-	// existing key as absent and re-append it, inflating the added counter
-	// and regrowing the log mid-compaction. Point reads may still race and
-	// degrade to counted misses, as the store documents.
-	s.putMu.Lock()
-	kept, dropped, err := s.st.Compact()
-	s.putMu.Unlock()
+	kept, dropped, err := s.CompactStore()
 	if err != nil {
 		replyError(w, http.StatusInternalServerError, "compact: %v", err)
 		return
 	}
 	reply(w, http.StatusOK, CompactReply{Kept: kept, Dropped: dropped})
+}
+
+// CompactStore compacts the wrapped store under the write lock: a
+// storeOne racing the file swap could Peek an existing key as absent and
+// re-append it, inflating the added counter and regrowing the log
+// mid-compaction. Point reads may still race and degrade to counted
+// misses, as the store documents. Exported for cmd/stored's lifecycle
+// loop, which must take the same lock the HTTP path takes.
+func (s *Server) CompactStore() (kept, dropped int, err error) {
+	s.putMu.Lock()
+	defer s.putMu.Unlock()
+	return s.st.Compact()
+}
+
+func (s *Server) handleRingGet(w http.ResponseWriter, r *http.Request) {
+	s.req.ring.Add(1)
+	ring := s.Ring()
+	if ring == nil {
+		replyError(w, http.StatusNotFound, "no ring installed")
+		return
+	}
+	reply(w, http.StatusOK, ring)
+}
+
+func (s *Server) handleRingPost(w http.ResponseWriter, r *http.Request) {
+	s.req.ring.Add(1)
+	body, err := requestBody(w, r)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	defer body.Close()
+	var ring store.Ring
+	if err := json.NewDecoder(body).Decode(&ring); err != nil {
+		replyError(w, http.StatusBadRequest, "bad ring: %v", err)
+		return
+	}
+	if err := s.InstallRing(&ring); err != nil {
+		replyError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	// The header stamped at dispatch predates the install; repeat the new
+	// epoch in the body so the installer sees it took.
+	reply(w, http.StatusOK, RingReply{Epoch: s.epoch()})
+}
+
+// handleDrain streams every key this replica no longer owns under the
+// installed ring to the keys' owners and deletes the local copies once
+// they land. Requires an installed ring and a self name that maps into it
+// or is absent from it (a decommission drains everything); an unnamed
+// server cannot know which keys are its own.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.req.drain.Add(1)
+	ring, self := s.Ring(), s.Self()
+	if ring == nil {
+		replyError(w, http.StatusConflict, "no ring installed; nothing to drain against")
+		return
+	}
+	if self == "" {
+		replyError(w, http.StatusConflict, "server has no member name (-name); cannot tell its keys from foreign ones")
+		return
+	}
+	dr, err := DrainStore(s.st, ring, self)
+	if err != nil {
+		replyError(w, http.StatusInternalServerError, "drain: %v", err)
+		return
+	}
+	reply(w, http.StatusOK, dr)
 }

@@ -40,9 +40,9 @@ const CacheVersion = "fanl06-sim-v3"
 // identical entries for them, so merging stays consistent.
 type CachedEngine struct {
 	*Engine
-	cache  *store.Store
-	shardI int
-	shardM int // 0 = normal mode; > 0 = prime-only shard i of m
+	cache *store.Store
+	shard *store.Ring // nil = normal mode; non-nil = prime-only pass owning one member
+	self  int         // this pass's member index in shard
 }
 
 // NewCached wraps an engine with a result store; st may be nil for a plain
@@ -52,15 +52,27 @@ func NewCached(e *Engine, st *store.Store) *CachedEngine {
 }
 
 // WithShard returns a copy of the engine acting as a prime pass for shard i
-// of m (0-based). It requires a store — a shard pass without somewhere to
-// write results would do nothing — and returns the engine unchanged when
-// m <= 0 or no store is attached.
+// of m (0-based): the engine owns member i of the uniform m-member ring, so
+// every process derives the identical partition from m alone. It requires a
+// store — a shard pass without somewhere to write results would do nothing
+// — and returns the engine unchanged when m <= 0 or no store is attached.
 func (c *CachedEngine) WithShard(i, m int) *CachedEngine {
 	if m <= 0 || c.cache == nil {
 		return c
 	}
+	return c.WithShardRing(store.UniformRing(m), i)
+}
+
+// WithShardRing returns a copy of the engine acting as a prime pass owning
+// member self of the given ring — the general form of WithShard, for
+// fleets whose partition is a weighted named ring rather than a uniform
+// count. A nil ring or out-of-range self returns the engine unchanged.
+func (c *CachedEngine) WithShardRing(ring *store.Ring, self int) *CachedEngine {
+	if ring == nil || self < 0 || self >= len(ring.Members) || c.cache == nil {
+		return c
+	}
 	cp := *c
-	cp.shardI, cp.shardM = i, m
+	cp.shard, cp.self = ring, self
 	return &cp
 }
 
@@ -70,7 +82,7 @@ func (c *CachedEngine) Cache() *store.Store { return c.cache }
 // Priming reports whether the engine is a prime-only shard pass, in which
 // statically enumerable fan-outs skip folds and validation layered on fold
 // results (e.g. sweep injectivity checks) must be skipped by the caller.
-func (c *CachedEngine) Priming() bool { return c != nil && c.shardM > 0 }
+func (c *CachedEngine) Priming() bool { return c != nil && c.shard != nil }
 
 // Owns reports whether this engine's shard assignment owns the key: always
 // true in normal mode. Adaptive drivers (a search whose rounds depend on
@@ -81,7 +93,7 @@ func (c *CachedEngine) Owns(key string) bool { return c.inShard(key) }
 
 // inShard reports whether this engine's prime pass owns the key.
 func (c *CachedEngine) inShard(key string) bool {
-	return c.shardM <= 0 || store.ShardOf(key, c.shardM) == c.shardI
+	return c.shard == nil || c.shard.Owner(key) == c.self
 }
 
 // prefetch warms the store's LRU tier with a whole fan-out's keys before

@@ -43,4 +43,11 @@ func (c *lruCache) put(key string, val []byte) {
 	}
 }
 
+func (c *lruCache) delete(key string) {
+	if e, ok := c.m[key]; ok {
+		c.ll.Remove(e)
+		delete(c.m, key)
+	}
+}
+
 func (c *lruCache) len() int { return c.ll.Len() }

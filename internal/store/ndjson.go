@@ -9,7 +9,12 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
+
+// nowFn is the clock age-based eviction reads; a variable so tests can
+// pin it.
+var nowFn = time.Now
 
 // ndjsonName is the data file inside a store directory.
 const ndjsonName = "results.ndjson"
@@ -20,16 +25,20 @@ const ndjsonTmpName = ndjsonName + ".tmp"
 
 // record is the wire form of one entry: one JSON object per line, the value
 // embedded as raw JSON so the file stays greppable and mergeable with
-// standard tools.
+// standard tools. T is the write time in unix seconds (0 in logs written
+// before lifecycles existed — such records never age out).
 type record struct {
 	K string          `json:"k"`
 	V json.RawMessage `json:"v"`
+	T int64           `json:"t,omitempty"`
 }
 
-// span locates one record line inside the data file.
+// span locates one record line inside the data file, carrying the
+// record's write time so age eviction never re-reads the log.
 type span struct {
 	off int64
 	len int64
+	t   int64
 }
 
 // NDJSON is the file Backend: an append-only newline-delimited JSON log
@@ -54,8 +63,10 @@ type NDJSON struct {
 	path       string
 	idx        map[string]span
 	size       int64
+	liveBytes  int64 // bytes of live (indexed) lines; size-liveBytes is reclaimable
 	superseded int64 // dead duplicate lines: overwrites + duplicates seen at open
 	dead       int64 // unparseable lines skipped at open (reclaimable by Compact)
+	deleted    int64 // lines de-indexed by Delete/Evict* since open (reclaimable by Compact)
 }
 
 // OpenNDJSON opens (creating if necessary) the NDJSON backend in dir.
@@ -101,10 +112,12 @@ func (b *NDJSON) load() error {
 		n := int64(len(line))
 		var rec record
 		if jerr := json.Unmarshal(line, &rec); jerr == nil && rec.K != "" {
-			if _, dup := b.idx[rec.K]; dup {
+			if old, dup := b.idx[rec.K]; dup {
 				b.superseded++
+				b.liveBytes -= old.len
 			}
-			b.idx[rec.K] = span{off: off, len: n}
+			b.idx[rec.K] = span{off: off, len: n, t: rec.T}
+			b.liveBytes += n
 		} else {
 			b.dead++
 		}
@@ -140,9 +153,11 @@ func (b *NDJSON) Has(key string) bool {
 	return ok
 }
 
-// Put implements Backend.
+// Put implements Backend, stamping the record with the write time so age
+// eviction has something to age.
 func (b *NDJSON) Put(key string, val []byte) error {
-	line, err := json.Marshal(record{K: key, V: json.RawMessage(val)})
+	now := nowFn().Unix()
+	line, err := json.Marshal(record{K: key, V: json.RawMessage(val), T: now})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -152,12 +167,104 @@ func (b *NDJSON) Put(key string, val []byte) error {
 	if _, err := b.f.WriteAt(line, b.size); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
-	if _, dup := b.idx[key]; dup {
+	if old, dup := b.idx[key]; dup {
 		b.superseded++ // the old line is dead weight until the next Compact
+		b.liveBytes -= old.len
 	}
-	b.idx[key] = span{off: b.size, len: int64(len(line))}
+	b.idx[key] = span{off: b.size, len: int64(len(line)), t: now}
+	b.liveBytes += int64(len(line))
 	b.size += int64(len(line))
 	return nil
+}
+
+// Delete implements Deleter by de-indexing the key: the line stays in the
+// log as dead weight until the next Compact, so a crash mid-drain can at
+// worst resurrect an extra copy of a content-addressed value, never lose
+// one.
+func (b *NDJSON) Delete(key string) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sp, ok := b.idx[key]
+	if !ok {
+		return false, nil
+	}
+	delete(b.idx, key)
+	b.deleted++
+	b.liveBytes -= sp.len
+	return true, nil
+}
+
+// EvictOlderThan de-indexes every record written before cutoff, returning
+// the eviction count. Records without a timestamp (logs written before
+// lifecycles existed) never age out. Evicted lines are reclaimed by the
+// next Compact.
+func (b *NDJSON) EvictOlderThan(cutoff time.Time) int {
+	c := cutoff.Unix()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	evicted := 0
+	for k, sp := range b.idx {
+		if sp.t != 0 && sp.t < c {
+			delete(b.idx, k)
+			b.deleted++
+			b.liveBytes -= sp.len
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// EvictToSize de-indexes oldest-first records until the live bytes fit
+// maxBytes, returning the eviction count. Untimestamped records order
+// before timestamped ones (they are oldest by construction), ties by file
+// offset. Evicting a result only ever costs its re-execution.
+func (b *NDJSON) EvictToSize(maxBytes int64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.liveBytes <= maxBytes {
+		return 0
+	}
+	type aged struct {
+		key string
+		sp  span
+	}
+	entries := make([]aged, 0, len(b.idx))
+	for k, sp := range b.idx {
+		entries = append(entries, aged{k, sp})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].sp.t != entries[j].sp.t {
+			return entries[i].sp.t < entries[j].sp.t
+		}
+		return entries[i].sp.off < entries[j].sp.off
+	})
+	evicted := 0
+	for _, e := range entries {
+		if b.liveBytes <= maxBytes {
+			break
+		}
+		delete(b.idx, e.key)
+		b.deleted++
+		b.liveBytes -= e.sp.len
+		evicted++
+	}
+	return evicted
+}
+
+// SizeBytes returns the log's total size on disk, dead weight included.
+func (b *NDJSON) SizeBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.size
+}
+
+// DeadBytes returns the reclaimable bytes: the log size minus the live
+// lines. The stored lifecycle compacts when this crosses a fraction of
+// the file.
+func (b *NDJSON) DeadBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.size - b.liveBytes
 }
 
 // ForEach implements Backend, visiting entries in unspecified order.
@@ -263,7 +370,7 @@ func (b *NDJSON) Compact() (kept, dropped int, err error) {
 			tmp.Close()
 			return 0, 0, fmt.Errorf("store: compact: %w", werr)
 		}
-		newIdx[e.key] = span{off: off, len: e.sp.len}
+		newIdx[e.key] = span{off: off, len: e.sp.len, t: e.sp.t}
 		off += e.sp.len
 		kept++
 	}
@@ -279,13 +386,15 @@ func (b *NDJSON) Compact() (kept, dropped int, err error) {
 		tmp.Close()
 		return 0, 0, fmt.Errorf("store: compact: %w", err)
 	}
-	dropped += int(b.superseded) + int(b.dead)
+	dropped += int(b.superseded) + int(b.dead) + int(b.deleted)
 	b.f.Close()
 	b.f = tmp // now named `path`; the fd survived the rename
 	b.idx = newIdx
 	b.size = off
+	b.liveBytes = off
 	b.superseded = 0
 	b.dead = 0
+	b.deleted = 0
 	return kept, dropped, nil
 }
 

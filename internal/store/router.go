@@ -10,43 +10,67 @@ import (
 // Router spreads one content-addressed key space across several far
 // backends — typically N independent stored instances — so the fleet's
 // shared cache scales horizontally instead of funnelling every worker
-// through one server. Each key is owned by exactly one replica, assigned
-// by the same stable hash partition sharded prime passes use (ShardOf), so
-// every process in the fleet routes every key identically and a replica
-// holds a disjoint slice of the key space. This is what `-store
-// URL1,URL2,…` mounts in the CLIs.
+// through one server. Placement is the Ring's: each key is owned by the
+// replica weighted rendezvous hashing assigns it, so every process holding
+// the same ring routes every key identically and a replica holds a
+// (weight-proportional) slice of the key space. This is what `-store
+// URL1,URL2,…` mounts in the CLIs, under whatever ring the fleet serves.
 //
 // Batch traffic stays batched: GetBatch / PutBatch / HasBatch split the
 // request into per-replica sub-batches, issue them concurrently, and merge
 // the replies — a whole fan-out still costs one round trip per *replica*,
 // not per key.
 //
-// Failure discipline is per replica: when one instance is down its keys
-// degrade to misses (reads) or counted write failures (writes) while the
-// other replicas keep serving theirs — the PR-3 rule that a cache
-// pathology can cost re-executions, never an answer. Degraded operations
-// are counted per replica (Failures) so a sick instance is visible in the
-// CLIs' diagnostics instead of hiding behind a silently colder cache;
-// write entries that landed nowhere are additionally counted in Degraded
-// (reads are not — a failed read is already visible as a miss).
+// Reads fail over along the rendezvous order: a key its owner cannot serve
+// (down replica, or a slice still draining to a new owner after a resize)
+// is retried on the runner-up replica — which, for a freshly moved key, is
+// exactly its previous owner — before degrading to a miss. Writes go to
+// the owner alone; a down owner's writes are counted failures (Degraded),
+// the PR-3 rule that a cache pathology can cost re-executions, never an
+// answer. Degraded operations are counted per replica (Failures) so a sick
+// instance is visible in the CLIs' diagnostics instead of hiding behind a
+// silently colder cache.
 type Router struct {
+	ring       *Ring
 	replicas   []Backend
 	failures   []atomic.Int64 // per-replica degraded operations (point or batch, read or write)
 	lostWrites atomic.Int64   // write entries that failed to land (see Degraded)
 }
 
-// NewRouter routes the key space across the given backends by ShardOf.
-// The replica order is part of the partition: every process of a fleet
-// must list the same backends in the same order, or they will disagree
-// about which replica owns a key (safe — content addressing makes double
-// writes idempotent — but it wastes space and round trips). At least one
-// backend is required; a single backend routes everything to it.
+// readRanks bounds a read's failover walk down the rendezvous order:
+// owner plus runner-up. Rank 2+ replicas can only hold a key after two
+// consecutive un-drained resizes, which a second rebalance pass cleans
+// up; probing them on every miss would tax true misses instead.
+const readRanks = 2
+
+// NewRouter routes the key space across the given backends under a
+// uniform anonymous ring (epoch 0, members "s1"…"sm" — the same logical
+// ring shard passes use). The replica order is part of the partition:
+// every process of a fleet must list the same backends in the same order,
+// or they will disagree about which replica owns a key (safe — content
+// addressing makes double writes idempotent — but it wastes space and
+// round trips). Fleets that can change shape mount NewRingRouter with an
+// authoritative named ring instead. At least one backend is required; a
+// single backend routes everything to it.
 func NewRouter(replicas ...Backend) *Router {
 	if len(replicas) == 0 {
 		panic("store: NewRouter needs at least one backend")
 	}
-	return &Router{replicas: replicas, failures: make([]atomic.Int64, len(replicas))}
+	return NewRingRouter(UniformRing(len(replicas)), replicas...)
 }
+
+// NewRingRouter routes the key space across the backends by the given
+// ring: replicas[i] serves ring.Members[i]. The ring decides placement;
+// the backend list just supplies the transport.
+func NewRingRouter(ring *Ring, replicas ...Backend) *Router {
+	if ring == nil || len(ring.Members) != len(replicas) {
+		panic("store: NewRingRouter needs one backend per ring member")
+	}
+	return &Router{ring: ring, replicas: replicas, failures: make([]atomic.Int64, len(replicas))}
+}
+
+// Ring returns the placement ring the router routes by.
+func (r *Router) Ring() *Ring { return r.ring }
 
 // Replicas returns the number of backends behind the router.
 func (r *Router) Replicas() int { return len(r.replicas) }
@@ -62,111 +86,186 @@ func (r *Router) Failures() []int64 {
 	return out
 }
 
-// replicaOf returns the index of the replica owning key.
-func (r *Router) replicaOf(key string) int { return ShardOf(key, len(r.replicas)) }
+// GroupOf implements grouper: the index of the replica owning key, so a
+// routed Merge can push each entry straight to its owner in full
+// per-replica batches.
+func (r *Router) GroupOf(key string) int { return r.ring.Owner(key) }
 
-// group splits keys into per-replica sub-slices, preserving order.
-func (r *Router) group(keys []string) [][]string {
+// Groups implements grouper.
+func (r *Router) Groups() int { return len(r.replicas) }
+
+// group splits keys into per-replica sub-slices by the given rendezvous
+// rank (0 = owner, 1 = runner-up), preserving order.
+func (r *Router) group(keys []string, rank int) [][]string {
 	groups := make([][]string, len(r.replicas))
+	if rank == 0 {
+		for _, k := range keys {
+			i := r.ring.Owner(k)
+			groups[i] = append(groups[i], k)
+		}
+		return groups
+	}
 	for _, k := range keys {
-		i := r.replicaOf(k)
+		i := r.ring.Rank(k)[rank]
 		groups[i] = append(groups[i], k)
 	}
 	return groups
 }
 
-// Get implements Backend, routing the lookup to the key's owner. A down
-// replica's error surfaces to the wrapping Store, which counts it and
-// serves a miss.
-func (r *Router) Get(key string) ([]byte, bool, error) {
-	i := r.replicaOf(key)
-	v, ok, err := r.replicas[i].Get(key)
-	if err != nil {
-		r.failures[i].Add(1)
+// readRankLimit returns how many rendezvous ranks reads may probe.
+func (r *Router) readRankLimit() int {
+	if len(r.replicas) < readRanks {
+		return len(r.replicas)
 	}
-	return v, ok, err
+	return readRanks
+}
+
+// Get implements Backend, probing the key's replicas in rendezvous order:
+// the owner first, then the runner-up when the owner errors or misses —
+// the mid-migration and down-owner cases — before reporting a miss. A
+// down replica's error is counted and, when no later rank can serve the
+// key, surfaces to the wrapping Store, which counts it and serves a miss.
+func (r *Router) Get(key string) ([]byte, bool, error) {
+	var firstErr error
+	limit := r.readRankLimit()
+	for rank, i := range r.ring.Rank(key) {
+		if rank >= limit {
+			break
+		}
+		v, ok, err := r.replicas[i].Get(key)
+		if err != nil {
+			r.failures[i].Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ok {
+			return v, true, nil
+		}
+	}
+	return nil, false, firstErr
 }
 
 // Put implements Backend, routing the write to the key's owner.
 func (r *Router) Put(key string, val []byte) error {
-	i := r.replicaOf(key)
+	i := r.ring.Owner(key)
 	if err := r.replicas[i].Put(key, val); err != nil {
 		r.failures[i].Add(1)
 		r.lostWrites.Add(1)
-		return fmt.Errorf("store: router replica %d: %w", i, err)
+		return fmt.Errorf("store: router replica %d (%s): %w", i, r.ring.Members[i].Name, err)
 	}
 	return nil
 }
 
-// Has implements Backend. A down replica reads as absent, like every other
-// presence failure in the stack.
+// Has implements Backend with the same rendezvous failover as Get. A down
+// replica reads as absent, like every other presence failure in the stack.
 func (r *Router) Has(key string) bool {
-	return r.replicas[r.replicaOf(key)].Has(key)
+	limit := r.readRankLimit()
+	for rank, i := range r.ring.Rank(key) {
+		if rank >= limit {
+			break
+		}
+		if r.replicas[i].Has(key) {
+			return true
+		}
+	}
+	return false
 }
 
 // GetBatch implements BatchBackend: per-replica sub-batches issued
-// concurrently, replies merged. A failed sub-batch degrades its keys to
+// concurrently, replies merged. Keys the first wave could not produce —
+// a failed sub-batch, or keys the owner simply does not hold — are
+// retried in a second wave against each key's runner-up replica, so a
+// down or still-draining owner costs one extra round trip per replica
+// instead of the keys' hits. Keys unresolved after both waves degrade to
 // missing (the per-key Gets that follow will re-fail and count misses)
-// instead of failing the whole batch — one down replica must not cost the
-// other replicas' hits.
+// instead of failing the whole batch.
 func (r *Router) GetBatch(keys []string) (map[string][]byte, error) {
-	groups := r.group(keys)
-	results := make([]map[string][]byte, len(groups))
-	var wg sync.WaitGroup
-	for i, g := range groups {
-		if len(g) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, g []string) {
-			defer wg.Done()
-			m, err := getBatch(r.replicas[i], g)
-			if err != nil {
-				r.failures[i].Add(1)
-				return
-			}
-			results[i] = m
-		}(i, g)
-	}
-	wg.Wait()
 	out := make(map[string][]byte, len(keys))
-	for _, m := range results {
-		for k, v := range m {
-			out[k] = v
+	remaining := keys
+	limit := r.readRankLimit()
+	for rank := 0; rank < limit && len(remaining) > 0; rank++ {
+		groups := r.group(remaining, rank)
+		results := make([]map[string][]byte, len(groups))
+		var wg sync.WaitGroup
+		for i, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, g []string) {
+				defer wg.Done()
+				m, err := getBatch(r.replicas[i], g)
+				if err != nil {
+					r.failures[i].Add(1)
+					return
+				}
+				results[i] = m
+			}(i, g)
+		}
+		wg.Wait()
+		for _, m := range results {
+			for k, v := range m {
+				out[k] = v
+			}
+		}
+		if rank+1 < limit {
+			var next []string
+			for _, k := range remaining {
+				if _, ok := out[k]; !ok {
+					next = append(next, k)
+				}
+			}
+			remaining = next
 		}
 	}
 	return out, nil
 }
 
-// HasBatch implements HasBatcher with the same split/merge/degrade shape
-// as GetBatch: a down replica's keys read as absent, which only costs
-// re-executions whose identical bytes deduplicate.
+// HasBatch implements HasBatcher with the same two-wave split/merge/
+// failover shape as GetBatch: keys the owner cannot answer for are probed
+// on their runner-up, and a key absent everywhere reads as absent, which
+// only costs re-executions whose identical bytes deduplicate.
 func (r *Router) HasBatch(keys []string) (map[string]bool, error) {
-	groups := r.group(keys)
-	results := make([]map[string]bool, len(groups))
-	var wg sync.WaitGroup
-	for i, g := range groups {
-		if len(g) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, g []string) {
-			defer wg.Done()
-			m, err := hasBatch(r.replicas[i], g)
-			if err != nil {
-				r.failures[i].Add(1)
-				return
-			}
-			results[i] = m
-		}(i, g)
-	}
-	wg.Wait()
 	out := make(map[string]bool, len(keys))
-	for _, m := range results {
-		for k, ok := range m {
-			if ok {
-				out[k] = true
+	remaining := keys
+	limit := r.readRankLimit()
+	for rank := 0; rank < limit && len(remaining) > 0; rank++ {
+		groups := r.group(remaining, rank)
+		results := make([]map[string]bool, len(groups))
+		var wg sync.WaitGroup
+		for i, g := range groups {
+			if len(g) == 0 {
+				continue
 			}
+			wg.Add(1)
+			go func(i int, g []string) {
+				defer wg.Done()
+				m, err := hasBatch(r.replicas[i], g)
+				if err != nil {
+					r.failures[i].Add(1)
+					return
+				}
+				results[i] = m
+			}(i, g)
+		}
+		wg.Wait()
+		for _, m := range results {
+			for k, ok := range m {
+				if ok {
+					out[k] = true
+				}
+			}
+		}
+		if rank+1 < limit {
+			var next []string
+			for _, k := range remaining {
+				if !out[k] {
+					next = append(next, k)
+				}
+			}
+			remaining = next
 		}
 	}
 	return out, nil
@@ -188,7 +287,7 @@ func (r *Router) PutBatch(entries []Entry) (int, error) {
 func (r *Router) putBatchPlaced(entries []Entry) (added, lost int, err error) {
 	groups := make([][]Entry, len(r.replicas))
 	for _, e := range entries {
-		i := r.replicaOf(e.Key)
+		i := r.ring.Owner(e.Key)
 		groups[i] = append(groups[i], e)
 	}
 	var (
@@ -210,7 +309,7 @@ func (r *Router) putBatchPlaced(entries []Entry) (added, lost int, err error) {
 			lost += lostG
 			if err != nil {
 				r.failures[i].Add(1)
-				errs = append(errs, fmt.Errorf("store: router replica %d: %w", i, err))
+				errs = append(errs, fmt.Errorf("store: router replica %d (%s): %w", i, r.ring.Members[i].Name, err))
 			}
 		}(i, g)
 	}
@@ -231,8 +330,9 @@ func (r *Router) ForEach(fn func(key string, val []byte) error) error {
 }
 
 // Len implements Backend as the sum of the replicas: the partition is
-// disjoint by construction, so no key is counted twice. An unreachable
-// replica reads as empty and bounds the total from below.
+// disjoint by construction (transiently double-counting keys mid-drain),
+// so no settled key is counted twice. An unreachable replica reads as
+// empty and bounds the total from below.
 func (r *Router) Len() int {
 	n := 0
 	for _, be := range r.replicas {
@@ -287,8 +387,11 @@ func (r *Router) Close() error {
 	for i, be := range r.replicas {
 		errs[i] = be.Close()
 	}
-	return errors.Join(errs...)
+	return errs2err(errs)
 }
+
+// errs2err joins a slice of possibly-nil errors.
+func errs2err(errs []error) error { return errors.Join(errs...) }
 
 // hasBatch probes keys through the backend's batch path when it has one
 // and per-key Has otherwise.

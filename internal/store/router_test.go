@@ -140,7 +140,7 @@ func TestRouterImplementsBatchInterfaces(t *testing.T) {
 }
 
 // TestRouterPartitionsKeySpace pins the routing invariant: every key lands
-// on exactly the replica ShardOf assigns it, so all fleet processes agree
+// on exactly the replica the ring assigns it, so all fleet processes agree
 // on placement and replica key spaces stay disjoint.
 func TestRouterPartitionsKeySpace(t *testing.T) {
 	replicas := []*mapBackend{newMapBackend(), newMapBackend(), newMapBackend()}
@@ -156,7 +156,7 @@ func TestRouterPartitionsKeySpace(t *testing.T) {
 		}
 	}
 	for i, k := range keys {
-		owner := store.ShardOf(k, len(replicas))
+		owner := r.Ring().Owner(k)
 		for ri, be := range replicas {
 			if got := be.Has(k); got != (ri == owner) {
 				t.Fatalf("key %d: replica %d has=%v, owner is %d", i, ri, got, owner)
@@ -252,7 +252,7 @@ func TestRouterDownReplicaDegradesToMiss(t *testing.T) {
 	}
 	sickKeys := 0
 	for _, k := range keys {
-		if store.ShardOf(k, len(replicas)) == sick {
+		if r.Ring().Owner(k) == sick {
 			sickKeys++
 		}
 	}
@@ -299,7 +299,7 @@ func TestRouterDownReplicaDegradesToMiss(t *testing.T) {
 	// re-readable; nothing about the healthy replicas changed.
 	replicas[sick].down = false
 	for _, k := range keys {
-		if store.ShardOf(k, len(replicas)) == sick {
+		if r.Ring().Owner(k) == sick {
 			if err := r.Put(k, []byte(`{"back":true}`)); err != nil {
 				t.Fatalf("recovered replica rejected a write: %v", err)
 			}
@@ -324,7 +324,7 @@ func TestRouterPutBatchReportsPartialPlacement(t *testing.T) {
 	for i := range entries {
 		k := store.Key("v1", i)
 		entries[i] = store.Entry{Key: k, Val: []byte(`{"v":1}`)}
-		if store.ShardOf(k, 2) == 1 {
+		if r.Ring().Owner(k) == 1 {
 			sickCount++
 		}
 	}
@@ -377,7 +377,7 @@ func TestTieredOverRouterCountsLossesOnce(t *testing.T) {
 	downCount := 0
 	for i := 0; i < n; i++ {
 		k := store.Key("v1", i)
-		if store.ShardOf(k, 2) == 1 {
+		if router.Ring().Owner(k) == 1 {
 			downCount++
 		}
 		wb.Put(k, []byte(fmt.Sprintf(`{"i":%d}`, i)))

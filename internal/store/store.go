@@ -159,9 +159,30 @@ type placer interface {
 
 // keyLister is optionally implemented by backends whose key set is cheap
 // to enumerate without touching values (the NDJSON index). Tiered.Len uses
-// it to count the exact union of disjoint tiers.
+// it to count the exact union of disjoint tiers, and the migrator
+// enumerates a draining replica's keys through it.
 type keyLister interface {
 	Keys() []string
+}
+
+// Deleter is optionally implemented by backends that can drop a key — the
+// migrator's push-then-delete handoff needs it: a drained key is deleted
+// from its old owner only after the new owner acknowledged the write, so
+// at every instant the key is readable somewhere.
+type Deleter interface {
+	// Delete drops key, reporting whether it was present. Deleting an
+	// absent key is a no-op (drains are idempotent).
+	Delete(key string) (existed bool, err error)
+}
+
+// grouper is optionally implemented by placement-aware backends (Router)
+// that spread keys across disjoint groups: GroupOf names the group owning
+// a key, Groups the group count. Merge uses it to accumulate per-owner
+// batches, so a shard-directory push travels as full per-replica PutBatch
+// calls instead of every chunk fanning out to every replica.
+type grouper interface {
+	GroupOf(key string) int
+	Groups() int
 }
 
 // Store is the two-tier content-addressed result store. Safe for concurrent
@@ -445,6 +466,45 @@ func (s *Store) Len() int {
 	return s.lru.len()
 }
 
+// Keys returns the backend's live key set when it is cheap to enumerate
+// (keyLister: the NDJSON index), nil otherwise. The migrator uses it to
+// find a draining replica's no-longer-owned slice without reading values.
+func (s *Store) Keys() []string {
+	if s == nil {
+		return nil
+	}
+	if kl, ok := s.be.(keyLister); ok {
+		return kl.Keys()
+	}
+	return nil
+}
+
+// Delete drops key from both tiers, reporting whether the durable tier
+// held it. Backends without Deleter keep their entry (only the LRU copy
+// goes); the migrator checks support up front via CanDelete.
+func (s *Store) Delete(key string) (bool, error) {
+	if s == nil || key == "" {
+		return false, nil
+	}
+	s.mu.Lock()
+	s.lru.delete(key)
+	s.mu.Unlock()
+	if d, ok := s.be.(Deleter); ok {
+		return d.Delete(key)
+	}
+	return false, nil
+}
+
+// CanDelete reports whether the durable tier supports Delete — whether a
+// drain of this store can actually hand keys off rather than copy them.
+func (s *Store) CanDelete() bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.be.(Deleter)
+	return ok
+}
+
 // Stats returns a snapshot of the store's traffic counters.
 func (s *Store) Stats() Stats {
 	if s == nil {
@@ -482,8 +542,11 @@ func (s *Store) Close() error {
 // store). Keys already present in s are kept as-is and counted as
 // superseded — entries are content-addressed, so a duplicate key carries
 // an identical value. When the backend supports batching, entries travel
-// in PutBatch chunks instead of one Put per key. Returns the number of
-// entries added.
+// in PutBatch chunks instead of one Put per key; when it is also
+// placement-aware (grouper — the Router), entries accumulate in
+// per-owner buffers so each flush is one full batch straight to one
+// replica rather than every chunk fanning out across the fleet. Returns
+// the number of entries added.
 func (s *Store) Merge(dirs ...string) (int, error) {
 	bb, batched := s.be.(BatchBackend)
 	added := 0
@@ -493,8 +556,14 @@ func (s *Store) Merge(dirs ...string) (int, error) {
 			return added, fmt.Errorf("store: merge %s: %w", dir, err)
 		}
 		if batched {
-			var chunk []Entry
-			flush := func() error {
+			groups := 1
+			groupOf := func(string) int { return 0 }
+			if g, ok := s.be.(grouper); ok && g.Groups() > 1 {
+				groups, groupOf = g.Groups(), g.GroupOf
+			}
+			chunks := make([][]Entry, groups)
+			flush := func(gi int) error {
+				chunk := chunks[gi]
 				if len(chunk) == 0 {
 					return nil
 				}
@@ -505,18 +574,23 @@ func (s *Store) Merge(dirs ...string) (int, error) {
 				added += n
 				s.puts.Add(int64(n))
 				s.superseded.Add(int64(len(chunk) - n))
-				chunk = chunk[:0]
+				chunks[gi] = chunk[:0]
 				return nil
 			}
 			err = src.ForEach(func(key string, val []byte) error {
-				chunk = append(chunk, Entry{Key: key, Val: val})
-				if len(chunk) >= prefetchChunk {
-					return flush()
+				gi := groupOf(key)
+				chunks[gi] = append(chunks[gi], Entry{Key: key, Val: val})
+				if len(chunks[gi]) >= prefetchChunk {
+					return flush(gi)
 				}
 				return nil
 			})
 			if err == nil {
-				err = flush()
+				for gi := range chunks {
+					if err = flush(gi); err != nil {
+						break
+					}
+				}
 			}
 		} else {
 			err = src.ForEach(func(key string, val []byte) error {
@@ -573,27 +647,6 @@ func ParseShard(s string) (index, count int, err error) {
 		return 0, 0, fmt.Errorf("store: bad shard %q: need 1 <= i <= m", s)
 	}
 	return i - 1, m, nil
-}
-
-// ShardOf deterministically assigns a key to one of m shards (0-based) by
-// its leading hash bits: the key-space partition that lets m processes or
-// CI jobs split one sweep and later Merge their stores into the whole.
-func ShardOf(key string, m int) int {
-	if m <= 1 {
-		return 0
-	}
-	var v uint32
-	for i := 0; i < 8 && i < len(key); i++ {
-		v <<= 4
-		c := key[i]
-		switch {
-		case c >= '0' && c <= '9':
-			v |= uint32(c - '0')
-		case c >= 'a' && c <= 'f':
-			v |= uint32(c-'a') + 10
-		}
-	}
-	return int(v % uint32(m))
 }
 
 // GetJSON fetches and decodes the value stored under key. Decode failures

@@ -45,17 +45,18 @@ func TestParseShardStrict(t *testing.T) {
 	}
 }
 
-func TestShardOfPartitions(t *testing.T) {
+func TestUniformRingPartitions(t *testing.T) {
 	const m = 3
+	ring := store.UniformRing(m)
 	hit := make([]int, m)
 	for i := 0; i < 500; i++ {
 		k := store.Key("v1", i)
-		s := store.ShardOf(k, m)
+		s := ring.Owner(k)
 		if s < 0 || s >= m {
 			t.Fatalf("shard %d out of range [0,%d)", s, m)
 		}
-		if again := store.ShardOf(k, m); again != s {
-			t.Fatal("shard assignment not deterministic")
+		if again := store.UniformRing(m).Owner(k); again != s {
+			t.Fatal("shard assignment not deterministic across ring constructions")
 		}
 		hit[s]++
 	}
@@ -64,8 +65,10 @@ func TestShardOfPartitions(t *testing.T) {
 			t.Fatalf("shard %d never hit over 500 keys — partition is degenerate", s)
 		}
 	}
-	if store.ShardOf("anything", 1) != 0 || store.ShardOf("anything", 0) != 0 {
-		t.Fatal("m <= 1 must map every key to shard 0")
+	for _, degenerate := range []int{1, 0, -2} {
+		if store.UniformRing(degenerate).Owner("anything") != 0 {
+			t.Fatal("m <= 1 must map every key to shard 0")
+		}
 	}
 }
 

@@ -218,6 +218,24 @@ func (t *Tiered) HasBatch(keys []string) (map[string]bool, error) {
 	return present, nil
 }
 
+// GroupOf implements grouper by delegating to the far tier: a merge
+// through `-cache DIR -store FLEET` groups entries by their routed owner,
+// and the near tier takes its per-key writes regardless of grouping.
+func (t *Tiered) GroupOf(key string) int {
+	if g, ok := t.far.(grouper); ok {
+		return g.GroupOf(key)
+	}
+	return 0
+}
+
+// Groups implements grouper (see GroupOf).
+func (t *Tiered) Groups() int {
+	if g, ok := t.far.(grouper); ok {
+		return g.Groups()
+	}
+	return 1
+}
+
 // Degraded returns the far-tier write failures the near tier absorbed
 // (plus any nested composite's own count): writes that looked successful
 // to the caller but never reached the fleet store.
