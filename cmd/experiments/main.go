@@ -152,12 +152,12 @@ func run(args []string, w io.Writer) error {
 		if len(selected) > 0 && !selected[e.ID] {
 			continue
 		}
-		start := time.Now()
+		start := time.Now() //repro:wallclock elapsed time goes to the stderr progress line, never into a table
 		tbl, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		elapsed := time.Since(start).Seconds()
+		elapsed := time.Since(start).Seconds() //repro:wallclock elapsed time goes to the stderr progress line, never into a table
 		if priming {
 			// A prime pass only fills the store; its tables fold nothing and
 			// carry no verdicts.

@@ -1,0 +1,22 @@
+// Reprolint statically enforces the repo's reproducibility contracts:
+// deterministic output paths, zero-allocation hot loops, degrade-to-miss
+// error discipline in the store layers, and mutex-guarded field access.
+//
+// Run standalone:
+//
+//	reprolint ./...
+//
+// or as a vet tool, which integrates with the build cache:
+//
+//	go vet -vettool=$(scripts/lint.sh -print) ./...
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:]))
+}

@@ -1,3 +1,11 @@
 module repro
 
+// Zero requirements, deliberately: the Go toolchain is the only
+// dependency, so builds are offline and hermetic with nothing to
+// vendor or audit. Even the vet-style analyzer suite (cmd/reprolint,
+// internal/lint) is stdlib-only — it implements the slice of
+// go/analysis it needs rather than importing golang.org/x/tools.
+// Rationale and the escape hatch are in ROADMAP.md ("Dependency
+// policy").
+
 go 1.24

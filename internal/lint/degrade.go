@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// DegradePackages selects where the degrade analyzer enforces: the store
+// and remote layers, whose contract is "a cache failure is a counted
+// miss or a counted degraded write — never a silent nothing". These are
+// exactly the packages where PRs 4 and 5 each fixed a silently swallowed
+// error by hand (far-tier write failures, phantom batch adds).
+var DegradePackages = regexp.MustCompile(`^repro/internal/(store|remote)($|/)`)
+
+// Degrade forbids dropping an error value on the floor. An error must be
+// returned, bound to a variable (and hence inspected — the compiler
+// already rejects unused variables), or explicitly discarded on a line
+// annotated //repro:degrade <reason>. Flagged forms:
+//
+//   - f() as a statement, where f returns an error;
+//   - x, _ := f() (or _ =) with the blank in an error-typed position;
+//   - defer f() / go f(), where f returns an error.
+//
+// The counted-into-Stats escape the interface documents is not special-
+// cased: counting requires observing the error (`if err != nil { … }`),
+// which binds it to a name and satisfies the rule naturally.
+var Degrade = &Analyzer{
+	Name: "degrade",
+	Doc:  "store/remote code must count, return, or justify every error; none fall silently",
+	Run:  runDegrade,
+}
+
+func runDegrade(p *Pass) {
+	if !DegradePackages.MatchString(basePkgPath(p.Pkg.Path())) {
+		return
+	}
+	for _, f := range p.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(p, call, "result")
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(p, n.Call, "deferred result")
+			case *ast.GoStmt:
+				checkDroppedCall(p, n.Call, "goroutine result")
+			case *ast.AssignStmt:
+				checkBlankError(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall flags a call statement whose results include an error.
+func checkDroppedCall(p *Pass, call *ast.CallExpr, what string) {
+	if !resultHasError(p, call) {
+		return
+	}
+	if p.Dirs.LineHas(p.Fset, call.Pos(), "degrade") {
+		return
+	}
+	name := "call"
+	if fn := calleeFunc(p.Info, call); fn != nil {
+		name = fn.Name()
+	}
+	p.Reportf(call.Pos(), "%s of %s drops its error: return it, count it into Stats, or annotate //repro:degrade <reason>", what, name)
+}
+
+// checkBlankError flags blank-identifier assignment of an error value.
+func checkBlankError(p *Pass, s *ast.AssignStmt) {
+	// Positional types of the RHS: either a 1:1 assignment or a single
+	// multi-result call.
+	typeAt := func(i int) types.Type {
+		if len(s.Rhs) == len(s.Lhs) {
+			if tv, ok := p.Info.Types[s.Rhs[i]]; ok {
+				return tv.Type
+			}
+			return nil
+		}
+		if len(s.Rhs) != 1 {
+			return nil
+		}
+		tv, ok := p.Info.Types[s.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		return nil
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := typeAt(i)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if p.Dirs.LineHas(p.Fset, s.Pos(), "degrade") {
+			continue
+		}
+		p.Reportf(lhs.Pos(), "error discarded into _: bind and count it, or annotate //repro:degrade <reason>")
+	}
+}
+
+// resultHasError reports whether the call's result includes an error.
+func resultHasError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

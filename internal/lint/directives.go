@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //repro: directive grammar. Directives follow the Go toolchain
+// convention: no space after //, so ordinary prose never parses as one.
+//
+//	//repro:hotpath
+//	    On a function or method declaration: this function is a checked
+//	    hot path (see the hotpath analyzer). On an interface method: a
+//	    contract — call sites through the interface are hot-path legal,
+//	    and every in-package implementation must itself be annotated.
+//	//repro:hotpath-ok <reason>
+//	    On a function declaration: callable from hot paths without being
+//	    checked itself — the whitelisted-helper escape hatch for cold
+//	    error constructors and audited single-allocation helpers.
+//	//repro:guardedby <field>
+//	    On a struct field: the field may only be accessed while the named
+//	    sibling mutex field is held (see the locked analyzer).
+//	//repro:locked <field>
+//	    On a function declaration: asserts the caller already holds the
+//	    named mutex, so guarded accesses inside are legal.
+//	//repro:degrade <reason>
+//	    On (or directly above) a statement: the discarded error on this
+//	    line is intentional, with the justification recorded in place.
+//	//repro:unordered <reason>
+//	    On (or directly above) a map-range statement: the fold is
+//	    order-insensitive for the stated reason.
+//	//repro:wallclock <reason>
+//	    On (or directly above) a statement: this wall-clock read never
+//	    reaches canonical output (stderr diagnostics, eviction ages).
+//
+// Malformed directives — unknown names, missing mutex argument, missing
+// justification — are loud diagnostics, never silently inert: an
+// annotation that quietly disabled nothing is how checked contracts rot.
+
+// FuncDirective is the parsed function-level annotation set.
+type FuncDirective struct {
+	Hotpath   bool
+	HotpathOK bool
+	OKReason  string
+	Locked    []string // mutex field names the caller is asserted to hold
+}
+
+// FieldDirective is the parsed struct-field annotation.
+type FieldDirective struct {
+	Mutex  string
+	Struct *ast.StructType // enclosing struct, for sibling validation
+}
+
+// Directives is the parsed //repro: annotation set of one package.
+type Directives struct {
+	Funcs  map[*ast.FuncDecl]*FuncDirective
+	Iface  map[*ast.Field]bool                // interface methods marked hotpath
+	Fields map[*ast.Field]*FieldDirective     // struct fields marked guardedby
+	lines  map[string]map[int]map[string]bool // file → line → directive names
+	Errs   []Diagnostic                       // grammar errors (reported once by the driver)
+}
+
+// LineHas reports whether a line-level directive (degrade, unordered,
+// wallclock) blesses the line holding pos. A directive comment covers its
+// own line (trailing form) and the line below it (comment-above form).
+func (d *Directives) LineHas(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	return d.lines[p.Filename][p.Line][name]
+}
+
+var lineDirectives = map[string]bool{"degrade": true, "unordered": true, "wallclock": true}
+
+// ParseDirectives scans the files' comments for //repro: directives,
+// attaches them to declarations, and validates the grammar. Grammar
+// errors land in Errs as diagnostics of the pseudo-analyzer "directive".
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		Funcs:  map[*ast.FuncDecl]*FuncDirective{},
+		Iface:  map[*ast.Field]bool{},
+		Fields: map[*ast.Field]*FieldDirective{},
+		lines:  map[string]map[int]map[string]bool{},
+	}
+	for _, f := range files {
+		// Pass 1: index every directive comment in the file and validate
+		// grammar; remember which comments carry declaration-level
+		// directives so pass 2 can check they are attached to something.
+		pending := map[*ast.Comment]dirLine{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dl, ok := d.parseComment(fset, c)
+				if !ok {
+					continue
+				}
+				if lineDirectives[dl.name] {
+					d.markLine(fset, c.Pos(), dl.name)
+				} else {
+					pending[c] = dl
+				}
+			}
+		}
+		// Pass 2: attach declaration-level directives.
+		d.attach(fset, f, pending)
+		// Anything left in pending is a declaration directive floating in
+		// the middle of nowhere — it guards nothing, so it must not parse
+		// as if it did.
+		for c, dl := range pending {
+			d.errf(fset, c.Pos(), "//repro:%s must be in the doc comment of a %s declaration", dl.name, dl.attachKind())
+		}
+	}
+	return d
+}
+
+// dirLine is one syntactically valid directive occurrence.
+type dirLine struct {
+	name string
+	args string // trimmed remainder after the name
+}
+
+// attachKind names where a declaration-level directive belongs, for the
+// floating-directive error message.
+func (dl dirLine) attachKind() string {
+	switch dl.name {
+	case "guardedby":
+		return "struct field"
+	case "hotpath":
+		return "function, method, or interface method"
+	default:
+		return "function"
+	}
+}
+
+// parseComment recognizes and grammar-checks a single //repro: comment.
+// ok is false for non-directive comments and for malformed ones (which
+// are reported, so a malformed directive is never silently inert).
+func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment) (dirLine, bool) {
+	body, found := strings.CutPrefix(c.Text, "//repro:")
+	if !found {
+		return dirLine{}, false
+	}
+	name, args, _ := strings.Cut(body, " ")
+	dl := dirLine{name: name, args: strings.TrimSpace(args)}
+	switch name {
+	case "hotpath":
+		if dl.args != "" {
+			d.errf(fset, c.Pos(), "//repro:hotpath takes no argument (got %q)", dl.args)
+			return dirLine{}, false
+		}
+	case "hotpath-ok", "degrade", "unordered", "wallclock":
+		if dl.args == "" {
+			d.errf(fset, c.Pos(), "//repro:%s needs a justification: //repro:%s <reason>", name, name)
+			return dirLine{}, false
+		}
+	case "guardedby", "locked":
+		if dl.args == "" || strings.ContainsAny(dl.args, " \t") {
+			d.errf(fset, c.Pos(), "//repro:%s needs exactly one mutex field name: //repro:%s mu", name, name)
+			return dirLine{}, false
+		}
+	default:
+		d.errf(fset, c.Pos(), "unknown directive //repro:%s (known: hotpath, hotpath-ok, guardedby, locked, degrade, unordered, wallclock)", name)
+		return dirLine{}, false
+	}
+	return dl, true
+}
+
+// attach walks the file's declarations consuming pending declaration
+// directives where they belong: function docs, struct fields, interface
+// methods.
+func (d *Directives) attach(fset *token.FileSet, f *ast.File, pending map[*ast.Comment]dirLine) {
+	take := func(cg *ast.CommentGroup) []dirLine {
+		if cg == nil {
+			return nil
+		}
+		var out []dirLine
+		for _, c := range cg.List {
+			if dl, ok := pending[c]; ok {
+				out = append(out, dl)
+				delete(pending, c)
+			}
+		}
+		return out
+	}
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			for _, dl := range take(fn.Doc) {
+				fd := d.Funcs[fn]
+				if fd == nil {
+					fd = &FuncDirective{}
+					d.Funcs[fn] = fd
+				}
+				switch dl.name {
+				case "hotpath":
+					fd.Hotpath = true
+				case "hotpath-ok":
+					fd.HotpathOK = true
+					fd.OKReason = dl.args
+				case "locked":
+					fd.Locked = append(fd.Locked, dl.args)
+				case "guardedby":
+					d.errf(fset, fn.Pos(), "//repro:guardedby belongs on a struct field, not a function")
+				}
+			}
+		}
+	}
+	// Struct fields and interface methods live inside type declarations
+	// anywhere in the file (including function bodies).
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				for _, dl := range append(take(field.Doc), take(field.Comment)...) {
+					if dl.name != "guardedby" {
+						d.errf(fset, field.Pos(), "//repro:%s does not apply to a struct field", dl.name)
+						continue
+					}
+					d.Fields[field] = &FieldDirective{Mutex: dl.args, Struct: n}
+				}
+			}
+		case *ast.InterfaceType:
+			for _, m := range n.Methods.List {
+				for _, dl := range append(take(m.Doc), take(m.Comment)...) {
+					if dl.name != "hotpath" {
+						d.errf(fset, m.Pos(), "//repro:%s does not apply to an interface method", dl.name)
+						continue
+					}
+					d.Iface[m] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markLine registers a line-level directive for its own line and the one
+// below, covering both the trailing-comment and comment-above forms.
+func (d *Directives) markLine(fset *token.FileSet, pos token.Pos, name string) {
+	p := fset.Position(pos)
+	file := d.lines[p.Filename]
+	if file == nil {
+		file = map[int]map[string]bool{}
+		d.lines[p.Filename] = file
+	}
+	for _, line := range []int{p.Line, p.Line + 1} {
+		if file[line] == nil {
+			file[line] = map[string]bool{}
+		}
+		file[line][name] = true
+	}
+}
+
+func (d *Directives) errf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	d.Errs = append(d.Errs, Diagnostic{
+		Analyzer: "directive",
+		Pos:      fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

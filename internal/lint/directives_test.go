@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc runs ParseDirectives over one synthetic file.
+func parseSrc(t *testing.T, src string) *Directives {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ParseDirectives(fset, []*ast.File{f})
+}
+
+// The annotation parser must reject malformed directives loudly: a
+// directive that silently guards nothing is how checked contracts rot.
+func TestMalformedDirectivesError(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the expected diagnostic
+	}{
+		{
+			name: "hotpath-ok without justification",
+			src:  "package p\n\n//repro:hotpath-ok\nfunc f() {}\n",
+			want: "//repro:hotpath-ok needs a justification",
+		},
+		{
+			name: "degrade without justification",
+			src:  "package p\n\nfunc f() error {\n\t//repro:degrade\n\treturn nil\n}\n",
+			want: "//repro:degrade needs a justification",
+		},
+		{
+			name: "unordered without justification",
+			src:  "package p\n\nfunc f() {\n\t//repro:unordered\n}\n",
+			want: "//repro:unordered needs a justification",
+		},
+		{
+			name: "wallclock without justification",
+			src:  "package p\n\n//repro:wallclock\nvar x int\n",
+			want: "//repro:wallclock needs a justification",
+		},
+		{
+			name: "guardedby without mutex name",
+			src:  "package p\n\ntype s struct {\n\t//repro:guardedby\n\tn int\n}\n",
+			want: "//repro:guardedby needs exactly one mutex field name",
+		},
+		{
+			name: "locked without mutex name",
+			src:  "package p\n\n//repro:locked\nfunc f() {}\n",
+			want: "//repro:locked needs exactly one mutex field name",
+		},
+		{
+			name: "hotpath with argument",
+			src:  "package p\n\n//repro:hotpath yes please\nfunc f() {}\n",
+			want: "//repro:hotpath takes no argument",
+		},
+		{
+			name: "unknown directive",
+			src:  "package p\n\n//repro:zoom\nfunc f() {}\n",
+			want: "unknown directive //repro:zoom",
+		},
+		{
+			name: "floating hotpath attaches to nothing",
+			src:  "package p\n\nfunc f() {\n\t//repro:hotpath\n\t_ = 1\n}\n",
+			want: "//repro:hotpath must be in the doc comment of a function",
+		},
+		{
+			name: "floating locked attaches to nothing",
+			src:  "package p\n\n//repro:locked mu\n\nvar x int\n",
+			want: "//repro:locked must be in the doc comment of a function",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := parseSrc(t, tc.src)
+			if len(d.Errs) != 1 {
+				t.Fatalf("got %d diagnostics, want exactly 1: %v", len(d.Errs), d.Errs)
+			}
+			if !strings.Contains(d.Errs[0].Message, tc.want) {
+				t.Errorf("diagnostic %q does not contain %q", d.Errs[0].Message, tc.want)
+			}
+			if d.Errs[0].Analyzer != "directive" {
+				t.Errorf("diagnostic analyzer = %q, want \"directive\"", d.Errs[0].Analyzer)
+			}
+		})
+	}
+}
+
+// Well-formed directives must parse without noise and land on the right
+// declarations.
+func TestWellFormedDirectivesAttach(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+//repro:hotpath
+func hot() {}
+
+//repro:hotpath-ok formats errors off the hot path
+func cold() string { return "" }
+
+//repro:locked mu
+func locked(s *s) { s.n++ }
+
+type s struct {
+	mu sync.Mutex
+	n  int //repro:guardedby mu
+}
+
+type iface interface {
+	//repro:hotpath
+	Step() int
+}
+
+func uses(m map[string]int) int {
+	t := 0
+	for _, v := range m { //repro:unordered commutative sum
+		t += v
+	}
+	return t
+}
+`
+	d := parseSrc(t, src)
+	if len(d.Errs) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", d.Errs)
+	}
+	var hot, cold, lockedFn bool
+	for fn, fd := range d.Funcs {
+		switch fn.Name.Name {
+		case "hot":
+			hot = fd.Hotpath
+		case "cold":
+			cold = fd.HotpathOK && fd.OKReason == "formats errors off the hot path"
+		case "locked":
+			lockedFn = len(fd.Locked) == 1 && fd.Locked[0] == "mu"
+		}
+	}
+	if !hot || !cold || !lockedFn {
+		t.Errorf("function directives misparsed: hotpath=%v hotpath-ok=%v locked=%v", hot, cold, lockedFn)
+	}
+	if len(d.Fields) != 1 {
+		t.Errorf("got %d guardedby fields, want 1", len(d.Fields))
+	}
+	for _, fd := range d.Fields {
+		if fd.Mutex != "mu" {
+			t.Errorf("guardedby mutex = %q, want \"mu\"", fd.Mutex)
+		}
+	}
+	if len(d.Iface) != 1 {
+		t.Errorf("got %d hot interface methods, want 1", len(d.Iface))
+	}
+}
+
+// A line directive blesses its own line and the next, nothing else.
+func TestLineDirectiveCoverage(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//repro:degrade best effort\n\t_ = 1\n\t_ = 2\n}\n"
+	d := parseSrc(t, src)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute positions against this fset: line 4 is the comment, line
+	// 5 the first statement, line 6 the second.
+	_ = f
+	mk := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !d.LineHas(fset, mk(4), "degrade") || !d.LineHas(fset, mk(5), "degrade") {
+		t.Error("directive must cover its own line and the next")
+	}
+	if d.LineHas(fset, mk(6), "degrade") {
+		t.Error("directive must not leak past the next line")
+	}
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathAllow is the built-in whitelist of stdlib calls a hot path may
+// make: allocation-free primitives the PR-6 AllocsPerRun guards already
+// vouch for. Entries are types.Func.FullName spellings. Extendable via
+// cmd/reprolint's -hotpath.allow flag.
+var hotpathAllow = map[string]bool{
+	"errors.Is":                   true,
+	"errors.As":                   true,
+	"io.ReadFull":                 true,
+	"encoding/binary.PutUvarint":  true,
+	"encoding/binary.ReadUvarint": true,
+	"(*bufio.Writer).Write":       true,
+	"(*bufio.Writer).WriteString": true,
+	"(*bufio.Writer).WriteByte":   true,
+	"(*bufio.Writer).Flush":       true,
+	"(*bufio.Reader).Read":        true,
+	"(*bufio.Reader).ReadByte":    true,
+	"(*sync/atomic.Int64).Add":    true,
+	"(*sync/atomic.Int64).Load":   true,
+}
+
+// AllowHotpathCalls adds extra fully-qualified functions to the hot-path
+// whitelist (the -hotpath.allow flag).
+func AllowHotpathCalls(names []string) {
+	for _, n := range names {
+		if n != "" {
+			hotpathAllow[n] = true
+		}
+	}
+}
+
+// Hotpath makes the zero-alloc hot loop a checked contract. A function
+// annotated //repro:hotpath must not:
+//
+//   - call anything in fmt (every fmt call allocates its argument pack);
+//   - create a closure, or start a goroutine, or defer (all allocate);
+//   - convert between []byte and string outside an audited
+//     //repro:hotpath-ok helper (the conversion copies);
+//   - call any function that is not itself //repro:hotpath, a
+//     //repro:hotpath-ok helper, a whitelisted stdlib primitive, or a
+//     builtin. Cross-package callees are resolved through exported facts,
+//     so annotating (*Registers).Read in internal/model is visible to
+//     System.Step in internal/machine.
+//
+// Interface methods may be annotated //repro:hotpath too: calls through
+// the interface are then legal from hot paths, and every in-package
+// implementation of the interface must itself be annotated (checked
+// here), so the contract survives dynamic dispatch.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //repro:hotpath must stay on the zero-allocation diet",
+	Run:  runHotpath,
+}
+
+const (
+	factHot   = "hot"   // checked hot-path function
+	factOK    = "ok"    // audited helper, callable but not checked
+	factIface = "iface" // interface method whose implementations are hot
+)
+
+func runHotpath(p *Pass) {
+	// Index this package's annotations by their types.Func objects and
+	// export them as facts for dependent packages.
+	local := map[*types.Func]string{}
+	for decl, fd := range p.Dirs.Funcs {
+		fn, _ := p.Info.Defs[decl.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		switch {
+		case fd.Hotpath && fd.HotpathOK:
+			p.Reportf(decl.Pos(), "%s is both //repro:hotpath and //repro:hotpath-ok; pick one (checked hot path, or audited unchecked helper)", fn.Name())
+		case fd.Hotpath:
+			local[fn] = factHot
+			p.ExportFact(funcKey(fn), factHot)
+		case fd.HotpathOK:
+			local[fn] = factOK
+			p.ExportFact(funcKey(fn), factOK)
+		}
+	}
+	ifaces := map[*types.Func]bool{}
+	for field := range p.Dirs.Iface {
+		for _, name := range field.Names {
+			if m, ok := p.Info.Defs[name].(*types.Func); ok {
+				ifaces[m] = true
+				local[m] = factIface
+				p.ExportFact(funcKey(m), factIface)
+			}
+		}
+	}
+
+	checkIfaceImplementations(p, ifaces, local)
+
+	for decl, fd := range p.Dirs.Funcs {
+		if fd.Hotpath && decl.Body != nil {
+			checkHotBody(p, decl, local)
+		}
+	}
+}
+
+// checkIfaceImplementations requires every in-package implementation of
+// a hot interface method to be hot (or an audited helper) itself.
+// Cross-package implementations of an imported hot interface are out of
+// this analyzer's reach (facts carry names, not type structure); the
+// call-site check still holds everywhere.
+func checkIfaceImplementations(p *Pass, ifaces map[*types.Func]bool, local map[*types.Func]string) {
+	if len(ifaces) == 0 {
+		return
+	}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		T := tn.Type()
+		for m := range ifaces {
+			iface, ok := m.Signature().Recv().Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			impl := T
+			if !types.Implements(impl, iface) {
+				impl = types.NewPointer(T)
+				if !types.Implements(impl, iface) {
+					continue
+				}
+			}
+			obj, _, _ := types.LookupFieldOrMethod(impl, true, p.Pkg, m.Name())
+			cm, ok := obj.(*types.Func)
+			if !ok || cm.Pkg() != p.Pkg {
+				continue
+			}
+			if local[cm] == "" {
+				p.Reportf(cm.Pos(), "%s implements hot interface method %s but is not //repro:hotpath (or //repro:hotpath-ok)", cm.Name(), funcKey(m))
+			}
+		}
+	}
+}
+
+// checkHotBody walks one hot function's body.
+func checkHotBody(p *Pass, decl *ast.FuncDecl, local map[*types.Func]string) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "hot path creates a closure (allocates); hoist it or restructure")
+			return false
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "hot path starts a goroutine")
+			return false
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "hot path defers (allocates a defer record on older runtimes and hides cost); unlock/close inline")
+			return false
+		case *ast.CallExpr:
+			checkHotCall(p, n, local)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, call *ast.CallExpr, local map[*types.Func]string) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := p.Info.Types[fun]; ok {
+		if tv.IsType() {
+			checkHotConversion(p, call, tv.Type)
+			return
+		}
+		if tv.IsBuiltin() {
+			return // len, cap, append, copy, make, panic, …: no call frame
+		}
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		p.Reportf(call.Pos(), "hot path makes a dynamic call (func value); only static calls to //repro:hotpath functions or annotated interface methods are checkable")
+		return
+	}
+	if fn.Pkg() == nil {
+		return // error.Error and friends from the universe scope
+	}
+	if fn.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "hot path calls fmt.%s (allocates); move the formatting to a cold //repro:hotpath-ok helper", fn.Name())
+		return
+	}
+	key := funcKey(fn)
+	if hotpathAllow[key] {
+		return
+	}
+	// Interface method: legal only when the interface method itself is
+	// annotated (locally or via a dependency's facts).
+	if recv := fn.Signature().Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		if local[fn] == factIface {
+			return
+		}
+		if v, ok := p.DepFact(fn.Pkg().Path(), key); ok && v == factIface {
+			return
+		}
+		p.Reportf(call.Pos(), "hot path calls interface method %s, which is not //repro:hotpath; annotate the interface method to make its implementations part of the contract", key)
+		return
+	}
+	switch local[fn] {
+	case factHot, factOK:
+		return
+	}
+	if v, ok := p.DepFact(fn.Pkg().Path(), key); ok && (v == factHot || v == factOK) {
+		return
+	}
+	p.Reportf(call.Pos(), "hot path calls %s, which is neither //repro:hotpath, //repro:hotpath-ok, nor whitelisted", key)
+}
+
+// checkHotConversion flags []byte↔string conversions, the allocation the
+// codec hot paths centralize in audited //repro:hotpath-ok helpers.
+func checkHotConversion(p *Pass, call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from := tv.Type
+	if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
+		p.Reportf(call.Pos(), "hot path converts %s to %s (copies); do it inside an audited //repro:hotpath-ok helper", from, to)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,199 @@
+// Package lint is reprolint: a suite of static analyzers that turn the
+// repo's dynamic invariants — byte-identical deterministic output,
+// zero-allocation hot paths, degrade-to-miss error discipline, and
+// mutex-guarded shared state — into properties checked at `go vet` time,
+// before any smoke test runs.
+//
+// The suite ships four analyzers:
+//
+//   - determinism: in the pure-simulation and output-producing packages,
+//     map iteration must be provably order-insensitive (or sorted, or
+//     justified with //repro:unordered), wall-clock reads must be
+//     justified with //repro:wallclock, and math/rand must be seeded.
+//   - hotpath: functions annotated //repro:hotpath may only call other
+//     hotpath (or explicitly //repro:hotpath-ok) functions, never fmt,
+//     closures, or []byte↔string conversions — the PR-6 zero-alloc work
+//     as a checked contract instead of a benchmark artifact.
+//   - degrade: in the store/remote packages, no error value may be
+//     dropped on the floor; every discard needs a //repro:degrade
+//     justification (the discipline behind "a cache failure is a miss,
+//     never a wrong answer").
+//   - locked: struct fields annotated //repro:guardedby mu may only be
+//     accessed by functions that lock that mutex (or that declare the
+//     caller holds it with //repro:locked mu).
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic, package facts) but is built on
+// the standard library alone — go/ast, go/types, go/importer — because
+// the build environment is hermetic: no module downloads, no non-stdlib
+// dependencies. cmd/reprolint drives the suite both standalone (loading
+// packages via `go list -export`) and as a `go vet -vettool`, speaking
+// the vet unitchecker protocol directly (see unitchecker.go). Swapping
+// the framework for x/tools later would change only this plumbing, not
+// the analyzers.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named static check. Run inspects a single package
+// through its Pass and reports diagnostics; it must be stateless across
+// packages (cross-package state travels as facts).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full reprolint suite in its canonical order.
+// Order matters only for deterministic output: diagnostics are reported
+// analyzer by analyzer, each in file/position order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, Hotpath, Degrade, Locked}
+}
+
+// Facts is one analyzer's exported facts for one package: opaque
+// key/value strings (the hotpath analyzer keys by types.Func.FullName).
+type Facts = map[string]string
+
+// PkgFacts maps analyzer name → that analyzer's facts for one package.
+type PkgFacts = map[string]Facts
+
+// FactsByPkg maps package path → PkgFacts. Paths are normalized with
+// basePkgPath, so test-variant spellings resolve to the plain path.
+type FactsByPkg = map[string]PkgFacts
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic the way `go vet` expects on stderr.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // every parsed file, including _test.go
+	Pkg      *types.Package
+	Info     *types.Info
+	Dirs     *Directives // the package's parsed //repro: directives
+
+	deps    FactsByPkg
+	exports Facts
+	diags   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles returns the package's non-test files — what the analyzers
+// inspect. Test files still participate in type checking (the unitchecker
+// protocol hands us augmented test variants), but the invariants reprolint
+// enforces are about shipped code, and tests legitimately drop errors,
+// range over maps, and read clocks.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ExportFact publishes a fact of this pass's analyzer for dependent
+// packages (and re-exported transitively through their vetx files).
+func (p *Pass) ExportFact(key, val string) {
+	p.exports[key] = val
+}
+
+// DepFact looks up a fact exported by this same analyzer for another
+// package (or an earlier fact of this very package in standalone runs).
+func (p *Pass) DepFact(pkgPath, key string) (string, bool) {
+	pf, ok := p.deps[basePkgPath(pkgPath)]
+	if !ok {
+		return "", false
+	}
+	v, ok := pf[p.Analyzer.Name][key]
+	return v, ok
+}
+
+// basePkgPath strips the test-variant suffix `go vet` appends to
+// augmented packages ("repro/internal/store [repro/internal/store.test]"),
+// so package-scoped configuration and facts see one canonical path.
+func basePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// RunPackage runs every analyzer over one type-checked package, appending
+// to diags, and returns the package's exported facts (its own annotations
+// plus every dependency fact, re-exported so facts flow transitively even
+// when a consumer only sees its direct dependencies' vetx files).
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps FactsByPkg, analyzers []*Analyzer, diags *[]Diagnostic) PkgFacts {
+	pass := &Pass{
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		deps:  deps,
+		diags: diags,
+	}
+	pass.Dirs = ParseDirectives(fset, pass.SourceFiles())
+	*diags = append(*diags, pass.Dirs.Errs...)
+
+	out := PkgFacts{}
+	for _, a := range analyzers {
+		pass.Analyzer = a
+		pass.exports = Facts{}
+		a.Run(pass)
+		if len(pass.exports) > 0 {
+			out[a.Name] = pass.exports
+		}
+	}
+	return out
+}
+
+// funcKey returns the cross-package identity of a function or method —
+// types.Func.FullName, e.g. "repro/internal/program.NewAutomaton" or
+// "(*repro/internal/program.Automaton).Feed" — used both as the fact key
+// exported by the hotpath analyzer and as the whitelist spelling.
+func funcKey(fn *types.Func) string {
+	return fn.FullName()
+}
+
+// calleeFunc resolves a call expression to the static *types.Func it
+// invokes, or nil for dynamic calls (func values, closures) and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,153 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Each directory under testdata/src is a self-contained module fixture.
+// Offending lines carry `// want "regex"` comments (several per line
+// allowed); the test loads the fixture through the same go-list path the
+// standalone tool uses, runs all analyzers, and requires an exact match
+// between expectations and diagnostics — a missing *or* surplus finding
+// fails. That proves each analyzer flags its bad cases and stays quiet
+// on the good ones.
+
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			runFixture(t, filepath.Join("testdata", "src", e.Name()))
+		})
+	}
+}
+
+func runFixture(t *testing.T, dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadPackages(abs, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("fixture loaded no packages")
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+
+	wants := collectWants(t, abs)
+	got := map[string][]string{} // file:line → messages
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		got[key] = append(got[key], d.Analyzer+": "+d.Message)
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	for k := range got {
+		if _, ok := wants[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		msgs := append([]string(nil), got[key]...)
+		for _, re := range wants[key] {
+			i := matchIndex(msgs, re)
+			if i < 0 {
+				t.Errorf("%s: expected diagnostic matching %q, got %v", key, re, msgs)
+				continue
+			}
+			msgs = append(msgs[:i], msgs[i+1:]...)
+		}
+		for _, m := range msgs {
+			t.Errorf("%s: unexpected diagnostic: %s", key, m)
+		}
+	}
+}
+
+func matchIndex(msgs []string, re *regexp.Regexp) int {
+	for i, m := range msgs {
+		if re.MatchString(m) {
+			return i
+		}
+	}
+	return -1
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants scans every fixture .go file for `// want "re"` comments,
+// keyed by file:line.
+func collectWants(t *testing.T, dir string) map[string][]*regexp.Regexp {
+	wants := map[string][]*regexp.Regexp{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", path, line)
+			for _, pat := range splitQuoted(m[1]) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// splitQuoted extracts the double-quoted segments of a want comment:
+// `"a" "b"` → ["a", "b"]. Backquoted strings are also accepted.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[2+end:]
+	}
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Standalone package loading: `reprolint ./...` (and the analyzer tests)
+// load packages with `go list -deps -export -json`, which hands back each
+// package's source files plus compiled export data for every dependency —
+// the same artifacts the vet unitchecker protocol delivers per package,
+// so both drivers share one type-checking path and one fact flow.
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// A Package is one loaded, parsed, type-checked package ready to analyze.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadPackages lists patterns (with dependencies and export data) from
+// dir and type-checks every non-stdlib package, in dependency order —
+// the order fact propagation needs.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOPROXY=off") // hermetic: a missing dep fails loudly, never dials out
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, &lp)
+	}
+
+	exports := map[string]string{} // import path → export data file
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := typeCheck(fset, lp.ImportPath, lp.Dir, lp.GoFiles, lp.ImportMap, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Run runs the analyzers over every package in order, threading facts
+// from dependencies to dependents, and returns all diagnostics sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	facts := FactsByPkg{}
+	for _, pkg := range pkgs {
+		pf := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, facts, analyzers, &diags)
+		facts[basePkgPath(pkg.Path)] = pf
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// typeCheck parses and type-checks one package from its file list,
+// resolving imports through importMap and the export-data importer.
+func typeCheck(fset *token.FileSet, path, dir string, goFiles []string, importMap map[string]string, imp types.Importer) (*Package, error) {
+	return typeCheckVersioned(fset, path, dir, goFiles, importMap, imp, "")
+}
+
+// typeCheckVersioned is typeCheck with an explicit language version
+// (the unitchecker path gets one from the vet config).
+func typeCheckVersioned(fset *token.FileSet, path, dir string, goFiles []string, importMap map[string]string, imp types.Importer, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer:  remappedImporter{imp: imp, importMap: importMap},
+		GoVersion: goVersion,
+		Error:     func(error) {}, // collect just the first via the return below
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// remappedImporter applies a package's ImportMap (vendoring, test
+// variants) before delegating to the export-data importer.
+type remappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (r remappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := r.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return r.imp.Import(path)
+}
+
+// newExportImporter returns a gc-export-data importer whose lookup opens
+// the file named by exportFile — the glue shared by the standalone loader
+// (files from `go list -export`) and the unitchecker (files from the vet
+// config's PackageFile map).
+func newExportImporter(fset *token.FileSet, exportFile func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exportFile(path)
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Locked checks //repro:guardedby annotations: a struct field annotated
+// `//repro:guardedby mu` may only be read or written inside a function
+// that visibly acquires that mutex (a call to .mu.Lock(), .mu.RLock(),
+// or .mu.TryLock() anywhere in the function body) or that asserts the
+// caller holds it with `//repro:locked mu`. Composite literal
+// construction (&Server{ring: r}) is exempt: the value is not yet shared.
+//
+// This is a syntactic discipline, not a race detector — it does not
+// prove the Lock covers the access or that the receiver is the same
+// object. It exists because the -race smokes only probabilistically
+// exercise the remote.Server ring installs and store counters; the
+// annotation makes "which mutex guards this field" part of the type's
+// declaration and every unlocked access a vet-time error.
+//
+// A //repro:guardedby naming a sibling that does not exist, or that is
+// not a sync.Mutex/sync.RWMutex, is itself an error: a guard annotation
+// that silently guards nothing is worse than none.
+var Locked = &Analyzer{
+	Name: "locked",
+	Doc:  "fields marked //repro:guardedby mu are only touched with mu held",
+	Run:  runLocked,
+}
+
+func runLocked(p *Pass) {
+	// Resolve annotated fields to their types.Var objects, validating
+	// the named mutex sibling exists and is a mutex.
+	guarded := map[types.Object]string{} // field object → mutex field name
+	for field, fd := range p.Dirs.Fields {
+		if !validMutexSibling(p, fd) {
+			p.Reportf(field.Pos(), "//repro:guardedby %s: struct has no sync.Mutex/sync.RWMutex field named %q", fd.Mutex, fd.Mutex)
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				guarded[obj] = fd.Mutex
+			}
+		}
+		if len(field.Names) == 0 {
+			p.Reportf(field.Pos(), "//repro:guardedby cannot annotate an embedded field")
+		}
+	}
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range p.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(p, fn, guarded)
+		}
+	}
+}
+
+// validMutexSibling reports whether the directive's struct has a sibling
+// field with the named mutex type.
+func validMutexSibling(p *Pass, fd *FieldDirective) bool {
+	for _, sibling := range fd.Struct.Fields.List {
+		for _, name := range sibling.Names {
+			if name.Name != fd.Mutex {
+				continue
+			}
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				return false
+			}
+			return isMutexType(obj.Type())
+		}
+	}
+	return false
+}
+
+// isMutexType recognizes sync.Mutex, sync.RWMutex, and pointers to them.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkGuardedAccesses flags selector accesses to guarded fields in
+// functions that neither lock the mutex nor assert the caller does.
+func checkGuardedAccesses(p *Pass, fn *ast.FuncDecl, guarded map[types.Object]string) {
+	asserted := map[string]bool{}
+	if fd := p.Dirs.Funcs[fn]; fd != nil {
+		for _, mu := range fd.Locked {
+			asserted[mu] = true
+		}
+	}
+	locksTaken := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+				locksTaken[muSel.Sel.Name] = true
+			} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				locksTaken[id.Name] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[sel.Sel]
+		mu, isGuarded := guarded[obj]
+		if !isGuarded {
+			return true
+		}
+		if locksTaken[mu] || asserted[mu] {
+			return true
+		}
+		p.Reportf(sel.Pos(), "access to %s without holding %s: lock it here, or annotate the function //repro:locked %s if the caller holds it", fieldPath(sel), mu, mu)
+		return true
+	})
+}
+
+// fieldPath renders x.f for the message.
+func fieldPath(sel *ast.SelectorExpr) string {
+	var b strings.Builder
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		b.WriteString(id.Name)
+		b.WriteByte('.')
+	}
+	b.WriteString(sel.Sel.Name)
+	return b.String()
+}

@@ -1,0 +1,35 @@
+// Package store exercises the degrade analyzer: the module path matches
+// its default package regexp, so the no-silent-error rule is live.
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// Stats is a stand-in for the real miss/degrade counters.
+type Stats struct{ Degraded int }
+
+// Flagged: every way to drop an error on the floor.
+func drops(f *os.File, w io.Writer, st *Stats) {
+	f.Close()           // want `result of Close drops its error`
+	defer f.Close()     // want `deferred result of Close drops its error`
+	go f.Sync()         // want `goroutine result of Sync drops its error`
+	_, _ = w.Write(nil) // want `error discarded into _`
+	_ = f.Close()       // want `error discarded into _`
+}
+
+// Accepted: returned, inspected-and-counted, or justified.
+func disciplined(f *os.File, w io.Writer, st *Stats) error {
+	if _, err := w.Write(nil); err != nil {
+		st.Degraded++ // degrade to miss: counted, not hidden
+	}
+	f.Close() //repro:degrade read-only handle, close cannot lose data
+	return f.Sync()
+}
+
+// Accepted: non-error results are not the analyzer's business.
+func pureCalls() {
+	_ = len(errors.New("x").Error())
+}

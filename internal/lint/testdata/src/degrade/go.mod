@@ -1,0 +1,3 @@
+module repro/internal/store
+
+go 1.24

@@ -1,0 +1,88 @@
+// Package experiments exercises the determinism analyzer: the module
+// path matches its default package regexp, so every rule is live here.
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Flagged: a package-level initializer capturing the clock.
+var nowHook = time.Now // want `time.Now in a deterministic package`
+
+// Flagged: map iteration order reaches the appended result unsorted.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `slice "keys" is built from map iteration but never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Accepted: the append is absorbed by a sort in the same function.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Accepted: commutative integer fold plus map/set writes.
+func countAndIndex(m map[string]int) (int, map[string]bool) {
+	total := 0
+	seen := make(map[string]bool)
+	for k, v := range m {
+		total += v
+		seen[k] = true
+	}
+	return total, seen
+}
+
+// Flagged: calling out of the loop body makes order observable.
+func emitEach(m map[string]int, emit func(string)) {
+	for k := range m { // want `map iteration order can reach the result`
+		emit(k)
+	}
+}
+
+// Flagged: string concatenation is an ordered fold.
+func joined(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order can reach the result`
+		s += k
+	}
+	return s
+}
+
+// Accepted: an explicit justification takes responsibility for the order.
+func emitEachJustified(m map[string]int, emit func(string)) {
+	for k := range m { //repro:unordered sink dedupes, order cannot surface
+		emit(k)
+	}
+}
+
+// Flagged: wall-clock reads, as a call and as a captured func value.
+func timestamps() (time.Time, func() time.Time) {
+	now := time.Now() // want `time.Now in a deterministic package`
+	f := time.Now     // want `time.Now in a deterministic package`
+	return now, f
+}
+
+// Accepted: justified wall-clock use for non-canonical metadata.
+func progressClock() time.Time {
+	return time.Now() //repro:wallclock stderr progress line only
+}
+
+// Flagged: the global math/rand source is unseeded.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the global unseeded source`
+}
+
+// Accepted: a seeded generator replays byte-identically.
+func shuffleSeeded(xs []int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,3 @@
+module repro/internal/experiments
+
+go 1.24

@@ -1,0 +1,42 @@
+// Package directives exercises the directive grammar checks that report
+// on declaration lines. (Cases whose diagnostic lands on the comment's
+// own line — missing justifications, floating directives — are covered
+// by the ParseDirectives unit tests.)
+package directives
+
+import "sync"
+
+//repro:hotpath with trailing junk // want `//repro:hotpath takes no argument`
+
+//repro:turbo go faster // want `unknown directive //repro:turbo`
+
+//repro:guardedby two mutexes // want `//repro:guardedby needs exactly one mutex field name`
+
+// Misattached directives: each names a target kind it cannot guard.
+
+//repro:guardedby mu
+func notAField() {} // want `//repro:guardedby belongs on a struct field, not a function`
+
+// S hosts field-level misattachments.
+type S struct {
+	mu sync.Mutex
+	//repro:locked mu
+	a int // want `//repro:locked does not apply to a struct field`
+	//repro:hotpath
+	b int // want `//repro:hotpath does not apply to a struct field`
+}
+
+// I hosts an interface-method misattachment.
+type I interface {
+	//repro:hotpath-ok audited elsewhere
+	M() // want `//repro:hotpath-ok does not apply to an interface method`
+}
+
+// Valid uses, so the fixture also proves the grammar accepts the real
+// forms without noise.
+
+//repro:hotpath
+func fine() { helper() }
+
+//repro:hotpath-ok audited allocation
+func helper() {}

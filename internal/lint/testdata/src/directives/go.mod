@@ -1,0 +1,3 @@
+module directives.example/m
+
+go 1.24

@@ -1,0 +1,79 @@
+// Package hot exercises the hotpath analyzer, including cross-package
+// facts from the prim subpackage.
+package hot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hotfix.example/hot/prim"
+)
+
+// Accepted: calls annotated deps (same-package and cross-package via
+// facts), builtins, an audited helper, and an annotated interface method.
+//
+//repro:hotpath
+func Inner(xs []int, s prim.Stepper) int {
+	total := 0
+	for _, x := range xs {
+		total = prim.Add(total, local(x))
+		total = s.Step(total)
+	}
+	if total < 0 {
+		_ = prim.Explain(total)
+	}
+	return total
+}
+
+//repro:hotpath
+func local(x int) int { return x &^ 1 }
+
+// Accepted: whitelisted stdlib primitive.
+//
+//repro:hotpath
+func encode(buf []byte, v uint64) int {
+	return binary.PutUvarint(buf, v)
+}
+
+// Flagged: every banned construct in one place.
+//
+//repro:hotpath
+func Sins(xs []byte, f func() int) string {
+	s := string(xs)                 // want `hot path converts \[\]byte to string`
+	msg := fmt.Sprintf("bad %q", s) // want `hot path calls fmt.Sprintf`
+	g := func() int { return f() }  // want `hot path creates a closure`
+	go g()                          // want `hot path starts a goroutine`
+	defer g()                       // want `hot path defers`
+	_ = f()                         // want `hot path makes a dynamic call`
+	_ = prim.Plain(1)               // want `hot path calls hotfix.example/hot/prim.Plain, which is neither`
+	return msg
+}
+
+// Mixer is a local hot interface: implementations below must carry the
+// annotation themselves.
+type Mixer interface {
+	//repro:hotpath
+	Mix(a, b int) int
+}
+
+// GoodMixer complies.
+type GoodMixer struct{}
+
+//repro:hotpath
+func (GoodMixer) Mix(a, b int) int { return a ^ b }
+
+// BadMixer implements Mixer but forgot the annotation.
+type BadMixer struct{}
+
+func (BadMixer) Mix(a, b int) int { return a + b } // want `Mix implements hot interface method`
+
+// blend dispatches through the local hot interface — accepted.
+//
+//repro:hotpath
+func blend(m Mixer, a, b int) int { return m.Mix(a, b) }
+
+// Flagged: conflicting annotations.
+//
+//repro:hotpath
+//repro:hotpath-ok wants to be both
+func Confused() {} // want `Confused is both //repro:hotpath and //repro:hotpath-ok`

@@ -1,0 +1,3 @@
+module hotfix.example/hot
+
+go 1.24

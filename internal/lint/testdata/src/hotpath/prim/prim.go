@@ -1,0 +1,26 @@
+// Package prim provides annotated primitives for the cross-package
+// hot-path fact test: the root package calls these and must see the
+// annotations through exported facts, not source.
+package prim
+
+// Add is a checked hot-path primitive.
+//
+//repro:hotpath
+func Add(a, b int) int { return a + b }
+
+// Explain is an audited cold helper hot paths may call.
+//
+//repro:hotpath-ok formats an error message off the hot path
+func Explain(code int) string {
+	return string(rune('a' + code))
+}
+
+// Plain carries no annotation; hot paths must not call it.
+func Plain(a int) int { return a * 2 }
+
+// Stepper is dispatched from hot loops: annotating the interface method
+// makes every call through it legal and obliges implementations.
+type Stepper interface {
+	//repro:hotpath
+	Step(n int) int
+}

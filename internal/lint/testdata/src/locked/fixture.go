@@ -1,0 +1,66 @@
+// Package locked exercises the locked analyzer's //repro:guardedby
+// contract.
+package locked
+
+import "sync"
+
+// Counter guards its state with mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int //repro:guardedby mu
+}
+
+// Accepted: lock visibly held.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Flagged: no lock in sight.
+func (c *Counter) Peek() int {
+	return c.n // want `access to c.n without holding mu`
+}
+
+// Accepted: asserts the caller holds the mutex.
+//
+//repro:locked mu
+func (c *Counter) incLocked() {
+	c.n++
+}
+
+// Accepted: composite-literal construction precedes sharing.
+func NewCounter(start int) *Counter {
+	return &Counter{n: start}
+}
+
+// Table guards its map with an RWMutex; RLock counts as holding it.
+type Table struct {
+	rw sync.RWMutex
+	m  map[string]int //repro:guardedby rw
+}
+
+// Accepted: read lock taken.
+func (t *Table) Get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// Flagged: write without the lock.
+func (t *Table) Put(k string, v int) {
+	t.m[k] = v // want `access to t.m without holding rw`
+}
+
+// Orphan names a guard that does not exist.
+type Orphan struct {
+	//repro:guardedby mu
+	n int // want `struct has no sync.Mutex/sync.RWMutex field named "mu"`
+}
+
+// NotAMutex names a sibling of the wrong type.
+type NotAMutex struct {
+	mu int
+	//repro:guardedby mu
+	n int // want `struct has no sync.Mutex/sync.RWMutex field named "mu"`
+}

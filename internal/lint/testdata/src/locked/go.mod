@@ -1,0 +1,3 @@
+module locked.example/m
+
+go 1.24

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// This file speaks the `go vet -vettool` protocol, so reprolint plugs
+// into `go vet -vettool=$(scripts/lint.sh -print) ./...` exactly like an
+// x/tools multichecker would. The protocol (cmd/go's vetFlags +
+// x/tools/go/analysis/unitchecker, reimplemented here on the stdlib):
+//
+//   tool -V=full            → print "name version devel buildID=<hex>"
+//   tool -flags             → print a JSON array of supported flag defs
+//   tool [flags] foo.cfg    → analyze one package described by the JSON
+//                             config; write facts to cfg.VetxOutput;
+//                             print diagnostics "file:line:col: msg" to
+//                             stderr; exit 0 clean / 1 findings / 2 error
+//
+// Without a .cfg argument the tool runs standalone over package patterns
+// via the go-list loader in load.go.
+
+// vetConfig is the JSON package description cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the reprolint entry point. It returns the process exit code.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	versionFlag := fs.String("V", "", "print version and exit (go vet handshake)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (go vet handshake)")
+	detPkgs := fs.String("determinism.packages", "", "regexp overriding the packages the determinism analyzer enforces")
+	degPkgs := fs.String("degrade.packages", "", "regexp overriding the packages the degrade analyzer enforces")
+	hotAllow := fs.String("hotpath.allow", "", "comma-separated fully-qualified functions to add to the hot-path whitelist")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *versionFlag != "" {
+		return printVersion(os.Stdout)
+	}
+	if *flagsFlag {
+		return printFlagDefs(os.Stdout)
+	}
+	if err := applyOverrides(*detPkgs, *degPkgs, *hotAllow); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0])
+	}
+	return runStandalone(rest)
+}
+
+// applyOverrides installs the flag-driven analyzer configuration.
+func applyOverrides(det, deg, allow string) error {
+	if det != "" {
+		re, err := regexp.Compile(det)
+		if err != nil {
+			return fmt.Errorf("-determinism.packages: %v", err)
+		}
+		DeterminismPackages = re
+	}
+	if deg != "" {
+		re, err := regexp.Compile(deg)
+		if err != nil {
+			return fmt.Errorf("-degrade.packages: %v", err)
+		}
+		DegradePackages = re
+	}
+	if allow != "" {
+		AllowHotpathCalls(strings.Split(allow, ","))
+	}
+	return nil
+}
+
+// printVersion implements the -V=full handshake. cmd/go caches vet
+// results keyed on this string, so it must change when the tool does:
+// hash the executable itself.
+func printVersion(w io.Writer) int {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		f, err2 := os.Open(exe)
+		if err2 == nil {
+			_, _ = io.Copy(h, f) //repro:degrade a short hash only weakens vet caching, not results
+			f.Close()            //repro:degrade read-only file
+		}
+	}
+	fmt.Fprintf(w, "reprolint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+// printFlagDefs implements the -flags handshake: the JSON flag schema
+// cmd/go uses to decide which of its flags the tool accepts.
+func printFlagDefs(w io.Writer) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []jsonFlag{
+		{Name: "determinism.packages", Bool: false, Usage: "regexp overriding the packages the determinism analyzer enforces"},
+		{Name: "degrade.packages", Bool: false, Usage: "regexp overriding the packages the degrade analyzer enforces"},
+		{Name: "hotpath.allow", Bool: false, Usage: "comma-separated fully-qualified functions to add to the hot-path whitelist"},
+	}
+	data, err := json.Marshal(defs)
+	if err != nil {
+		return 2
+	}
+	fmt.Fprintf(w, "%s\n", data)
+	return 0
+}
+
+// runStandalone analyzes package patterns via the go-list loader.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	pkgs, err := LoadPackages(wd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runUnit analyzes the single package described by a vet .cfg file.
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// Load facts exported by dependencies. Each vetx already carries its
+	// own transitive closure (see the write below), so reading only the
+	// direct deps listed in PackageVetx is complete.
+	deps := FactsByPkg{}
+	for path, vetx := range cfg.PackageVetx {
+		raw, err := os.ReadFile(vetx)
+		if err != nil || len(raw) == 0 {
+			continue // a dep analyzed before this tool version; treat as fact-free
+		}
+		var byPkg FactsByPkg
+		if err := json.Unmarshal(raw, &byPkg); err != nil {
+			continue //repro:degrade stale vetx from another tool build; facts re-derive on rebuild
+		}
+		for p, pf := range byPkg {
+			deps[p] = pf
+		}
+		_ = path
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, func(path string) (string, bool) {
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	goVersion := cfg.GoVersion
+	if i := strings.IndexByte(goVersion, ' '); i >= 0 {
+		goVersion = goVersion[:i]
+	}
+	pkg, err := typeCheckUnit(fset, &cfg, goVersion, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg, deps, PkgFacts{})
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 2
+	}
+
+	var diags []Diagnostic
+	pf := RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, deps, Analyzers(), &diags)
+	if code := writeVetx(&cfg, deps, pf); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// typeCheckUnit type-checks a vet config's package, honoring its language
+// version so code the compiler accepted is never rejected here.
+func typeCheckUnit(fset *token.FileSet, cfg *vetConfig, goVersion string, imp types.Importer) (*Package, error) {
+	pkg, err := typeCheckVersioned(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.ImportMap, imp, goVersion)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// writeVetx persists this package's facts plus its dependencies' — the
+// transitive closure — so dependents need only their direct deps' vetx
+// files. cmd/go requires the output to exist even when empty.
+func writeVetx(cfg *vetConfig, deps FactsByPkg, own PkgFacts) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	all := FactsByPkg{}
+	for p, pf := range deps {
+		all[p] = pf
+	}
+	all[basePkgPath(cfg.ImportPath)] = own
+	data, err := json.Marshal(all)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: encoding facts: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: writing %s: %v\n", cfg.VetxOutput, err)
+		return 2
+	}
+	return 0
+}

@@ -52,6 +52,11 @@ func (g *GreedyCost) Next(s *System) int {
 	if g.age == nil {
 		g.age = make([]int, n)
 	}
+	if g.scratch == nil {
+		// Seed the reusable lookahead system here, outside the per-candidate
+		// hot loop: score stays allocation-free on every call.
+		g.scratch = s.Clone()
+	}
 	best, bestScore := -1, minScore
 	patience := 3 * n
 	for k := 0; k < n; k++ {
@@ -88,10 +93,10 @@ const minScore = -1 << 30
 // and counts the immediate SC charge plus the net induced charges on the
 // other processes' pending reads. The scratch is re-seeded from s before
 // every candidate, so the speculative step never touches the live system.
+// Next seeds the scratch before its candidate loop, so score never clones.
+//
+//repro:hotpath
 func (g *GreedyCost) score(s *System, i int) int {
-	if g.scratch == nil {
-		g.scratch = s.Clone()
-	}
 	g.scratch.copyFrom(s)
 	step, changed, err := g.scratch.stepNoRecord(i)
 	if err != nil {

@@ -58,6 +58,7 @@ func (s Section) String() string {
 // process's protocol section.
 type System struct {
 	factory  program.Factory
+	n        int // factory.N(), cached: N() sits on the hot path and must not make an interface call
 	automata []*program.Automaton
 	regs     *model.Registers
 
@@ -74,6 +75,7 @@ func NewSystem(f program.Factory) *System {
 	n := f.N()
 	s := &System{
 		factory:   f,
+		n:         n,
 		automata:  program.NewAutomata(f),
 		regs:      program.NewRegisters(f),
 		section:   make([]Section, n),
@@ -84,7 +86,9 @@ func NewSystem(f program.Factory) *System {
 }
 
 // N returns the number of processes.
-func (s *System) N() int { return s.factory.N() }
+//
+//repro:hotpath
+func (s *System) N() int { return s.n }
 
 // Factory returns the algorithm factory the system runs.
 func (s *System) Factory() program.Factory { return s.factory }
@@ -96,6 +100,8 @@ func (s *System) Registers() *model.Registers { return s.regs }
 func (s *System) Automaton(i int) *program.Automaton { return s.automata[i] }
 
 // Halted reports whether process i has halted.
+//
+//repro:hotpath
 func (s *System) Halted(i int) bool { return s.automata[i].Halted() }
 
 // AllHalted reports whether every process has halted.
@@ -126,12 +132,16 @@ func (s *System) Trace() model.Execution { return s.trace }
 func (s *System) Changed() []bool { return s.changed }
 
 // PendingStep returns δ applied to process i's current state.
+//
+//repro:hotpath
 func (s *System) PendingStep(i int) model.Step { return s.automata[i].PendingStep() }
 
 // WouldChangeState reports whether process i's pending step would change its
 // state if executed now. Writes, RMWs and critical steps always change state
 // (they advance the program counter); reads change state according to the
 // value currently in the register.
+//
+//repro:hotpath
 func (s *System) WouldChangeState(i int) bool {
 	a := s.automata[i]
 	step := a.PendingStep()
@@ -150,6 +160,8 @@ func (s *System) WouldChangeState(i int) bool {
 // eventual length is safe — append falls back to its usual geometric
 // growth — so callers cap the reservation rather than pre-paying a worst
 // case horizon that canonical runs never reach.
+//
+//repro:hotpath
 func (s *System) Reserve(steps int) {
 	if steps <= cap(s.trace)-len(s.trace) {
 		return
@@ -165,6 +177,8 @@ func (s *System) Reserve(steps int) {
 // Step executes process i's pending step, appends it to the trace, and
 // returns the executed step (with read results filled in). It returns an
 // error if the process is halted or violates well-formedness.
+//
+//repro:hotpath
 func (s *System) Step(i int) (model.Step, error) {
 	step, changed, err := s.stepNoRecord(i)
 	if err != nil {
@@ -182,17 +196,19 @@ func (s *System) Step(i int) (model.Step, error) {
 // a lookahead needs the step and its charge, not a trace it will throw away
 // (recording on a clipped copy-on-write clone would reallocate and copy the
 // entire shared history on every candidate).
+//
+//repro:hotpath
 func (s *System) stepNoRecord(i int) (model.Step, bool, error) {
 	if i < 0 || i >= s.N() {
-		return model.Step{}, false, fmt.Errorf("machine: no process %d", i)
+		return model.Step{}, false, errNoProcess(i)
 	}
 	a := s.automata[i]
 	if a.Halted() {
-		return model.Step{}, false, fmt.Errorf("machine: process %d is halted", i)
+		return model.Step{}, false, errHalted(i)
 	}
 	step := a.PendingStep()
 	if step.IsShared() && (step.Reg < 0 || int(step.Reg) >= s.regs.Len()) {
-		return model.Step{}, false, fmt.Errorf("machine: process %d: register %d out of range [0,%d)", i, step.Reg, s.regs.Len())
+		return model.Step{}, false, errRegRange(i, step.Reg, s.regs.Len())
 	}
 	var changed bool
 	switch step.Kind {
@@ -216,6 +232,21 @@ func (s *System) stepNoRecord(i int) (model.Step, bool, error) {
 	return step, changed, nil
 }
 
+// Cold error constructors for the step path: fmt.Errorf allocates its
+// argument pack, so the hot functions above delegate formatting here and
+// pay for it only on the error paths that end a run anyway.
+
+//repro:hotpath-ok cold error path: a run that names a missing process is over
+func errNoProcess(i int) error { return fmt.Errorf("machine: no process %d", i) }
+
+//repro:hotpath-ok cold error path: stepping a halted process ends the run
+func errHalted(i int) error { return fmt.Errorf("machine: process %d is halted", i) }
+
+//repro:hotpath-ok cold error path: an out-of-range register ends the run
+func errRegRange(i int, reg model.RegID, size int) error {
+	return fmt.Errorf("machine: process %d: register %d out of range [0,%d)", i, reg, size)
+}
+
 // critWant maps each critical step kind to the section a process must be in
 // to take it — the well-formedness cycle try → enter → exit → rem as a
 // static table (a per-step map literal here was the simulator's single
@@ -229,9 +260,11 @@ var critWant = [4]Section{
 
 // applyCrit advances process i's protocol section, enforcing the
 // well-formedness cycle try → enter → exit → rem.
+//
+//repro:hotpath
 func (s *System) applyCrit(i int, c model.CritKind) error {
 	if int(c) >= len(critWant) || s.section[i] != critWant[c] {
-		return fmt.Errorf("machine: process %d: %s step while in %s section", i, c, s.section[i])
+		return errBadCrit(i, c, s.section[i])
 	}
 	switch c {
 	case model.CritTry:
@@ -248,6 +281,11 @@ func (s *System) applyCrit(i int, c model.CritKind) error {
 	return nil
 }
 
+//repro:hotpath-ok cold error path: a well-formedness violation ends the run
+func errBadCrit(i int, c model.CritKind, sec Section) error {
+	return fmt.Errorf("machine: process %d: %s step while in %s section", i, c, sec)
+}
+
 // Clone returns an independent copy of the system in its current state.
 // Automata, registers, sections and counters are deep-copied; the recorded
 // trace and changed flags are shared copy-on-write. The three-index slice
@@ -259,6 +297,8 @@ func (s *System) applyCrit(i int, c model.CritKind) error {
 // not O(trace); a clone that then Steps pays O(trace) once to privatize
 // its history, which is why per-decision lookahead uses the scratch
 // copyFrom path instead.
+//
+//repro:hotpath-ok allocates by design; schedulers clone once per run to seed a scratch, never per decision
 func (s *System) Clone() *System {
 	automata := make([]*program.Automaton, len(s.automata))
 	for i, a := range s.automata {
@@ -266,6 +306,7 @@ func (s *System) Clone() *System {
 	}
 	return &System{
 		factory:   s.factory,
+		n:         s.n,
 		automata:  automata,
 		regs:      s.regs.Clone(),
 		trace:     s.trace[:len(s.trace):len(s.trace)],
@@ -283,8 +324,11 @@ func (s *System) Clone() *System {
 // would this step change?", via stepNoRecord, and carries no history. The
 // receiver must come from Clone (or copyFrom) of a system with the same
 // factory shape; NewGreedyCost maintains exactly one such scratch.
+//
+//repro:hotpath
 func (s *System) copyFrom(src *System) {
 	s.factory = src.factory
+	s.n = src.n
 	if len(s.automata) != len(src.automata) {
 		s.automata = make([]*program.Automaton, len(src.automata))
 		for i, a := range src.automata {

@@ -139,6 +139,8 @@ type Step struct {
 
 // IsShared reports whether the step accesses shared memory (read, write, or
 // RMW) as opposed to being a critical step.
+//
+//repro:hotpath
 func (s Step) IsShared() bool { return s.Kind != KindCrit }
 
 // String renders the step in the paper's notation, e.g. "write_3(r5, 1)".
@@ -282,12 +284,18 @@ func NewRegisters(size int, init []Value) *Registers {
 }
 
 // Len returns the number of registers.
+//
+//repro:hotpath
 func (r *Registers) Len() int { return len(r.vals) }
 
 // Read returns the current value of register id.
+//
+//repro:hotpath
 func (r *Registers) Read(id RegID) Value { return r.vals[id] }
 
 // Write sets register id to v.
+//
+//repro:hotpath
 func (r *Registers) Write(id RegID, v Value) { r.vals[id] = v }
 
 // Snapshot returns a copy of all register values.
@@ -306,6 +314,8 @@ func (r *Registers) Restore(snap []Value) {
 }
 
 // Clone returns an independent copy of the register file.
+//
+//repro:hotpath-ok allocates by design; reached from hot copyFrom only on first seeding or a shape change, never steady state
 func (r *Registers) Clone() *Registers {
 	return &Registers{vals: r.Snapshot()}
 }
@@ -313,6 +323,8 @@ func (r *Registers) Clone() *Registers {
 // CopyFrom overwrites this register file's contents with src's, reusing the
 // receiver's storage when the sizes match — the zero-alloc counterpart of
 // Clone for lookahead schedulers that re-seed one scratch file per decision.
+//
+//repro:hotpath
 func (r *Registers) CopyFrom(src *Registers) {
 	if cap(r.vals) < len(src.vals) {
 		r.vals = make([]Value, len(src.vals))
@@ -323,6 +335,8 @@ func (r *Registers) CopyFrom(src *Registers) {
 
 // ApplyRMW atomically applies a read-modify-write primitive to register id
 // and returns the value the primitive reads (the old value).
+//
+//repro:hotpath
 func (r *Registers) ApplyRMW(id RegID, kind RMWKind, arg1, arg2 Value) Value {
 	old := r.vals[id]
 	switch kind {
@@ -337,7 +351,14 @@ func (r *Registers) ApplyRMW(id RegID, kind RMWKind, arg1, arg2 Value) Value {
 	case RMWFetchAndAdd:
 		r.vals[id] = old + arg1
 	default:
-		panic(fmt.Sprintf("model: unknown RMW kind %d", kind))
+		panic(badRMWKind(kind))
 	}
 	return old
+}
+
+// badRMWKind formats the unknown-RMW panic message.
+//
+//repro:hotpath-ok cold panic path: reached only on a corrupt RMWKind, never in a steady-state run
+func badRMWKind(kind RMWKind) string {
+	return fmt.Sprintf("model: unknown RMW kind %d", kind)
 }

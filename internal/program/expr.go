@@ -12,6 +12,11 @@ import (
 // as 0 (false) and 1 (true), C-style.
 type Expr interface {
 	// Eval evaluates the expression in the given local environment.
+	// Every implementation is on the simulator's per-step hot path: the
+	// interpreter evaluates written values, branch conditions and spin
+	// predicates through this method on every step of every run.
+	//
+	//repro:hotpath
 	Eval(env []model.Value) model.Value
 	// String renders the expression for disassembly and error messages.
 	String() string
@@ -21,6 +26,8 @@ type Expr interface {
 type ConstExpr struct{ V model.Value }
 
 // Eval returns the literal.
+//
+//repro:hotpath
 func (c ConstExpr) Eval([]model.Value) model.Value { return c.V }
 
 // String renders the literal.
@@ -37,6 +44,8 @@ type VarRef struct {
 }
 
 // Eval reads the variable from the environment.
+//
+//repro:hotpath
 func (v VarRef) Eval(env []model.Value) model.Value { return env[v.Index] }
 
 // String renders the variable name.
@@ -77,6 +86,8 @@ type BinExpr struct {
 // Eval evaluates both operands and applies the operator. Division and
 // modulus by zero yield zero rather than panicking: a deterministic
 // automaton must have a total transition function.
+//
+//repro:hotpath
 func (b BinExpr) Eval(env []model.Value) model.Value {
 	l := b.L.Eval(env)
 	r := b.R.Eval(env)
@@ -114,8 +125,15 @@ func (b BinExpr) Eval(env []model.Value) model.Value {
 	case OpOr:
 		return b2v(l != 0 || r != 0)
 	default:
-		panic(fmt.Sprintf("program: unknown binary operator %d", b.Op))
+		panic(badBinOp(b.Op))
 	}
+}
+
+// badBinOp formats the unknown-operator panic message.
+//
+//repro:hotpath-ok cold panic path: reached only on a corrupt BinOp, never in a steady-state run
+func badBinOp(op BinOp) string {
+	return fmt.Sprintf("program: unknown binary operator %d", op)
 }
 
 // String renders the expression with full parenthesisation.
@@ -127,11 +145,14 @@ func (b BinExpr) String() string {
 type NotExpr struct{ E Expr }
 
 // Eval returns 1 if the operand is zero, else 0.
+//
+//repro:hotpath
 func (n NotExpr) Eval(env []model.Value) model.Value { return b2v(n.E.Eval(env) == 0) }
 
 // String renders !(e).
 func (n NotExpr) String() string { return fmt.Sprintf("!%s", n.E) }
 
+//repro:hotpath
 func b2v(b bool) model.Value {
 	if b {
 		return 1

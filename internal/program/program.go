@@ -114,6 +114,8 @@ type Instr struct {
 }
 
 // regOf resolves the instruction's register operand in the environment.
+//
+//repro:hotpath
 func (in Instr) regOf(env []model.Value) model.RegID {
 	if in.RegX != nil {
 		return model.RegID(in.RegX.Eval(env))
@@ -123,6 +125,8 @@ func (in Instr) regOf(env []model.Value) model.RegID {
 
 // IsLocal reports whether the instruction is local computation rather than a
 // step of the paper's model.
+//
+//repro:hotpath
 func (in Instr) IsLocal() bool {
 	return in.Op == OpCLet || in.Op == OpCIf || in.Op == OpCGoto
 }
@@ -295,6 +299,8 @@ func (a *Automaton) Proc() int { return a.proc }
 func (a *Automaton) Program() *Program { return a.prog }
 
 // Halted reports whether the process has executed Halt.
+//
+//repro:hotpath
 func (a *Automaton) Halted() bool { return a.halted }
 
 // PC returns the current (normalized) program counter; for debugging.
@@ -309,10 +315,12 @@ func (a *Automaton) Env() []model.Value {
 
 // normalize runs local instructions until pc rests on a non-local
 // instruction or the program ends (which halts the automaton).
+//
+//repro:hotpath
 func (a *Automaton) normalize() {
 	for ops := 0; ; ops++ {
 		if ops > maxLocalOps {
-			panic(fmt.Sprintf("program %q: process %d: local instructions diverge at pc=%d", a.prog.Name, a.proc, a.pc))
+			panic(a.badState("local instructions diverge"))
 		}
 		if a.pc >= len(a.prog.Instrs) {
 			a.halted = true
@@ -345,9 +353,11 @@ func (a *Automaton) normalize() {
 // meaningless until the step is executed. Calling PendingStep repeatedly
 // without Feed returns the same step; it does not mutate state.
 // PendingStep panics if the automaton is halted.
+//
+//repro:hotpath
 func (a *Automaton) PendingStep() model.Step {
 	if a.halted {
-		panic(fmt.Sprintf("program %q: process %d: PendingStep on halted automaton", a.prog.Name, a.proc))
+		panic(a.badState("PendingStep on halted automaton"))
 	}
 	in := a.prog.Instrs[a.pc]
 	switch in.Op {
@@ -363,16 +373,18 @@ func (a *Automaton) PendingStep() model.Step {
 	case OpCCrit:
 		return model.Step{Proc: a.proc, Kind: model.KindCrit, Crit: in.Crit}
 	default:
-		panic(fmt.Sprintf("program %q: process %d: non-normalized pc=%d (%s)", a.prog.Name, a.proc, a.pc, in.Op))
+		panic(a.badState("PendingStep at non-normalized instruction"))
 	}
 }
 
 // Feed applies the result of executing the pending step and advances the
 // state. For reads and RMWs, v is the value read; for writes and critical
 // steps v is ignored. Feed then re-normalizes.
+//
+//repro:hotpath
 func (a *Automaton) Feed(v model.Value) {
 	if a.halted {
-		panic(fmt.Sprintf("program %q: process %d: Feed on halted automaton", a.prog.Name, a.proc))
+		panic(a.badState("Feed on halted automaton"))
 	}
 	in := a.prog.Instrs[a.pc]
 	switch in.Op {
@@ -382,12 +394,26 @@ func (a *Automaton) Feed(v model.Value) {
 	case OpCWrite, OpCCrit:
 		a.pc++
 	default:
-		panic(fmt.Sprintf("program %q: process %d: Feed at non-step pc=%d (%s)", a.prog.Name, a.proc, a.pc, in.Op))
+		panic(a.badState("Feed at non-step instruction"))
 	}
 	a.normalize()
 }
 
+// badState formats a machine-invariant panic message, naming the program,
+// process, pc and (when in range) the instruction there.
+//
+//repro:hotpath-ok cold panic path: formats invariant violations off the hot path, never reached in a steady-state run
+func (a *Automaton) badState(what string) string {
+	at := "end of program"
+	if a.pc < len(a.prog.Instrs) {
+		at = a.prog.Instrs[a.pc].Op.String()
+	}
+	return fmt.Sprintf("program %q: process %d: %s at pc=%d (%s)", a.prog.Name, a.proc, what, a.pc, at)
+}
+
 // Clone returns an independent copy of the automaton in the same state.
+//
+//repro:hotpath-ok allocates by design; reached from hot copyFrom only on first seeding or a shape change, never steady state
 func (a *Automaton) Clone() *Automaton {
 	env := make([]model.Value, len(a.env))
 	copy(env, a.env)
@@ -398,6 +424,8 @@ func (a *Automaton) Clone() *Automaton {
 // receiver's buffers when shapes allow — the zero-alloc counterpart of
 // Clone for schedulers that re-seed one scratch automaton per lookahead
 // instead of allocating a fresh copy per candidate decision.
+//
+//repro:hotpath
 func (a *Automaton) CopyFrom(src *Automaton) {
 	a.prog, a.proc, a.pc, a.halted = src.prog, src.proc, src.pc, src.halted
 	if cap(a.env) < len(src.env) {
@@ -409,6 +437,8 @@ func (a *Automaton) CopyFrom(src *Automaton) {
 
 // snapshot records the automaton's current state into the reusable scratch
 // buffer and returns (pc, halted) — everything stateChangedSince needs.
+//
+//repro:hotpath
 func (a *Automaton) snapshot() (pc int, halted bool) {
 	if cap(a.scratch) < len(a.env) {
 		a.scratch = make([]model.Value, len(a.env))
@@ -422,6 +452,8 @@ func (a *Automaton) snapshot() (pc int, halted bool) {
 // snapshot. Comparing (pc, env, halted) directly is exactly StateKey
 // inequality — StateKey is injective on those fields — without building
 // either string.
+//
+//repro:hotpath
 func (a *Automaton) stateChangedSince(pc int, halted bool) bool {
 	if a.pc != pc || a.halted != halted {
 		return true
@@ -439,6 +471,8 @@ func (a *Automaton) stateChangedSince(pc int, halted bool) bool {
 // (pc, locals, halted) changed across it. It is the allocation-free
 // replacement for the StateKey-before/StateKey-after comparison on the
 // simulator's per-step hot path.
+//
+//repro:hotpath
 func (a *Automaton) FeedChanged(v model.Value) bool {
 	pc, halted := a.snapshot()
 	a.Feed(v)
@@ -468,10 +502,12 @@ func (a *Automaton) StateKey() string {
 // helper (Figure 1): process p_i, whose state is st(α, i), changes state
 // upon reading v exactly when this returns true. It panics if the pending
 // step is not a read or RMW.
+//
+//repro:hotpath
 func (a *Automaton) WouldChangeState(v model.Value) bool {
 	in := a.prog.Instrs[a.pc]
 	if in.Op != OpCRead && in.Op != OpCRMW {
-		panic(fmt.Sprintf("program %q: process %d: WouldChangeState at non-read pc=%d", a.prog.Name, a.proc, a.pc))
+		panic(a.badState("WouldChangeState at non-read instruction"))
 	}
 	// Speculatively feed, compare, and roll back through the scratch
 	// snapshot — the schedulers that poll every pending read per decision

@@ -61,6 +61,8 @@ func newBinaryEncoder(w io.Writer) *binaryEncoder {
 }
 
 // writeChunk writes one uvarint-length-prefixed byte string.
+//
+//repro:hotpath
 func (e *binaryEncoder) writeChunk(b []byte) {
 	if e.err != nil {
 		return
@@ -73,6 +75,8 @@ func (e *binaryEncoder) writeChunk(b []byte) {
 }
 
 // Record appends one key/value record; val may be nil for key-only batches.
+//
+//repro:hotpath
 func (e *binaryEncoder) Record(key string, val []byte) {
 	if e.err != nil {
 		return
@@ -121,26 +125,48 @@ func newBinaryDecoder(r io.Reader) (*binaryDecoder, error) {
 
 // readChunk reads one uvarint-length-prefixed byte string into a fresh
 // slice (the caller retains it). A nil slice is returned for length zero.
+//
+//repro:hotpath
 func (d *binaryDecoder) readChunk() ([]byte, error) {
 	n, err := binary.ReadUvarint(d.br)
 	if err != nil {
 		return nil, err
 	}
 	if n > maxBinaryRecordBytes {
-		return nil, fmt.Errorf("remote: binary record of %d bytes exceeds cap", n)
+		return nil, errRecordTooBig(n)
 	}
 	if n == 0 {
 		return nil, nil
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(d.br, b); err != nil {
-		return nil, fmt.Errorf("remote: truncated binary record: %w", err)
+		return nil, errTruncatedRecord(err)
 	}
 	return b, nil
 }
 
+// Cold error constructors for the decode path: formatting allocates, and
+// each of these ends the batch anyway.
+
+//repro:hotpath-ok cold error path: an oversized record aborts the batch
+func errRecordTooBig(n uint64) error {
+	return fmt.Errorf("remote: binary record of %d bytes exceeds cap", n)
+}
+
+//repro:hotpath-ok cold error path: a truncated record aborts the batch
+func errTruncatedRecord(err error) error {
+	return fmt.Errorf("remote: truncated binary record: %w", err)
+}
+
+//repro:hotpath-ok cold error path: a broken record aborts the batch
+func errBadRecord(kb []byte, err error) error {
+	return fmt.Errorf("remote: binary record for key %q: %w", kb, err)
+}
+
 // Next returns the next record, or ok=false at a clean end of stream. The
 // returned val is nil for key-only records.
+//
+//repro:hotpath
 func (d *binaryDecoder) Next() (key string, val []byte, ok bool, err error) {
 	kb, err := d.readChunk()
 	if err != nil {
@@ -154,10 +180,15 @@ func (d *binaryDecoder) Next() (key string, val []byte, ok bool, err error) {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF // a key without its value length
 		}
-		return "", nil, false, fmt.Errorf("remote: binary record for key %q: %w", kb, err)
+		return "", nil, false, errBadRecord(kb, err)
 	}
-	return string(kb), val, true, nil
+	return retainKey(kb), val, true, nil
 }
+
+// retainKey materializes a decoded key as an immutable string.
+//
+//repro:hotpath-ok audited single allocation: the one []byte→string copy per decoded record; keys outlive the read buffer
+func retainKey(kb []byte) string { return string(kb) }
 
 // Close releases the pooled reader. The decoder must not be used afterwards.
 func (d *binaryDecoder) Close() {

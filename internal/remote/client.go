@@ -220,8 +220,8 @@ func (c *Client) Get(key string) ([]byte, bool, error) {
 // dial + TLS handshake; draining is what keeps one connection serving a
 // whole run's traffic.
 func drainClose(resp *http.Response) {
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //repro:degrade best-effort connection reuse; a failed drain just costs a redial
+	resp.Body.Close()              //repro:degrade nothing to do about a close error on a spent response
 }
 
 // getOnce is the uncoalesced point lookup.
@@ -365,7 +365,7 @@ func scanBatchReply(path string, resp *http.Response, parseLine func([]byte) (st
 			return fmt.Errorf("remote: %s: %w", path, err)
 		}
 		pz := &pooledGzipReadCloser{zr: zr}
-		defer pz.Close()
+		defer pz.Close() //repro:degrade pool return; a corrupt stream already failed the decode below
 		rd = pz
 	}
 	ct := resp.Header.Get("Content-Type")
@@ -562,7 +562,7 @@ func (c *Client) InstallRing(ring *store.Ring) error {
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		var er errorReply
-		json.NewDecoder(resp.Body).Decode(&er)
+		json.NewDecoder(resp.Body).Decode(&er) //repro:degrade best-effort error detail; the status line already carries the failure
 		return fmt.Errorf("remote: install ring: %s (%s)", resp.Status, er.Error)
 	}
 	return nil
@@ -579,7 +579,7 @@ func (c *Client) Drain() (DrainReply, error) {
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		var er errorReply
-		json.NewDecoder(resp.Body).Decode(&er)
+		json.NewDecoder(resp.Body).Decode(&er) //repro:degrade best-effort error detail; the status line already carries the failure
 		return DrainReply{}, fmt.Errorf("remote: drain: %s (%s)", resp.Status, er.Error)
 	}
 	var dr DrainReply

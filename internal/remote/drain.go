@@ -86,7 +86,9 @@ func DrainStore(st *store.Store, ring *store.Ring, self string) (DrainReply, err
 				}
 			}
 		}
-		cl.Close()
+		if cerr := cl.Close(); cerr != nil {
+			errs = append(errs, fmt.Errorf("remote: drain close %s: %w", m.Name, cerr))
+		}
 	}
 	return dr, errors.Join(errs...)
 }
@@ -115,7 +117,7 @@ func Rebalance(ring *store.Ring, diag io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer cl.Close()
+		defer cl.Close() //repro:degrade control-plane client teardown; every RPC outcome was already checked
 		clients[i] = cl
 	}
 	// Install everywhere before draining anywhere: a member draining under
@@ -131,7 +133,7 @@ func Rebalance(ring *store.Ring, diag io.Writer) error {
 			return fmt.Errorf("remote: drain %s: %w", ring.Members[i].Name, err)
 		}
 		if diag != nil {
-			fmt.Fprintf(diag, "rebalance %s: moved=%d deleted=%d kept=%d\n",
+			fmt.Fprintf(diag, "rebalance %s: moved=%d deleted=%d kept=%d\n", //repro:degrade progress line on a diagnostic writer
 				ring.Members[i].Name, dr.Moved, dr.Deleted, dr.Kept)
 		}
 	}

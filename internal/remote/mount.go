@@ -209,28 +209,28 @@ func MountFlags(diag io.Writer, prog, cacheDir, storeURL, shardArg, mergeArg str
 	cs := &CLIStore{Store: st, Clients: cls, Ring: ring}
 	if mergeArg != "" {
 		if st == nil {
-			cs.Close()
+			cs.Close() //repro:degrade error-path teardown; the flag error below is the one to surface
 			return nil, fmt.Errorf("-merge requires -cache or -store")
 		}
 		if shardArg != "" {
-			cs.Close()
+			cs.Close() //repro:degrade error-path teardown; the flag error below is the one to surface
 			return nil, fmt.Errorf("-merge and -shard are mutually exclusive (merge replays the full run)")
 		}
 		dirs := splitList(mergeArg)
 		added, err := st.Merge(dirs...)
 		if err != nil {
-			cs.Close()
+			cs.Close() //repro:degrade error-path teardown; the flag error below is the one to surface
 			return nil, err
 		}
-		fmt.Fprintf(diag, "%s: merged %d entries from %d store(s)\n", prog, added, len(dirs))
+		fmt.Fprintf(diag, "%s: merged %d entries from %d store(s)\n", prog, added, len(dirs)) //repro:degrade diagnostic line on stderr
 	}
 	if shardArg != "" {
 		if st == nil {
-			cs.Close()
+			cs.Close() //repro:degrade error-path teardown; the flag error below is the one to surface
 			return nil, fmt.Errorf("-shard requires -cache or -store")
 		}
 		if cs.ShardI, cs.ShardM, err = store.ParseShard(shardArg); err != nil {
-			cs.Close()
+			cs.Close() //repro:degrade error-path teardown; the flag error below is the one to surface
 			return nil, err
 		}
 	}
@@ -252,7 +252,7 @@ func (cs *CLIStore) PrintStats(diag io.Writer, prog string) {
 		if cs.Ring != nil {
 			ringSuffix = fmt.Sprintf(" ring=%d", cs.Ring.Epoch)
 		}
-		fmt.Fprintf(diag, "%s: cache %s (%d entries)%s\n", prog, cs.Store.Stats(), cs.Store.Len(), ringSuffix)
+		fmt.Fprintf(diag, "%s: cache %s (%d entries)%s\n", prog, cs.Store.Stats(), cs.Store.Len(), ringSuffix) //repro:degrade diagnostic line on stderr
 	}
 	var newest uint64
 	for i, cl := range cs.Clients {
@@ -261,14 +261,14 @@ func (cs *CLIStore) PrintStats(diag io.Writer, prog string) {
 			label = fmt.Sprintf("remote[%d %s]", i, cl.URL())
 		}
 		s := cl.Stats()
-		fmt.Fprintf(diag, "%s: %s keys=%d gets=%d puts=%d coalesced=%d retried=%d netErrors=%d\n",
+		fmt.Fprintf(diag, "%s: %s keys=%d gets=%d puts=%d coalesced=%d retried=%d netErrors=%d\n", //repro:degrade diagnostic line on stderr
 			prog, label, cl.Len(), s.Gets, s.Puts, s.Coalesced, s.Retried, s.NetErrors)
 		if e := cl.SeenEpoch(); e > newest {
 			newest = e
 		}
 	}
 	if cs.Ring != nil && newest > cs.Ring.Epoch {
-		fmt.Fprintf(diag, "%s: warning: fleet serves ring epoch %d but this run mounted epoch %d — placement is stale, remount to re-place\n",
+		fmt.Fprintf(diag, "%s: warning: fleet serves ring epoch %d but this run mounted epoch %d — placement is stale, remount to re-place\n", //repro:degrade diagnostic line on stderr
 			prog, newest, cs.Ring.Epoch)
 	}
 }

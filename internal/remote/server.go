@@ -33,8 +33,12 @@ type Server struct {
 	}
 
 	ringMu sync.RWMutex
-	ring   *store.Ring // nil until a ring is installed (flag or /v1/ring)
-	self   string      // this replica's member name in the ring ("" = unnamed)
+	// ring is nil until a ring is installed (flag or /v1/ring).
+	//repro:guardedby ringMu
+	ring *store.Ring
+	// self is this replica's member name in the ring ("" = unnamed).
+	//repro:guardedby ringMu
+	self string
 }
 
 // NewServer wraps st in the versioned HTTP protocol. The server owns the
@@ -163,7 +167,7 @@ func (s *Server) Requests() RequestStats {
 func reply(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	json.NewEncoder(w).Encode(v) //repro:degrade a response-write failure means the peer hung up; the client counts it as a net error
 }
 
 // replyError writes the protocol's error body.
@@ -239,7 +243,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
-	defer body.Close()
+	defer body.Close() //repro:degrade request body teardown; the decode above already surfaced any read failure
 	var rec wireRecord
 	if err := json.NewDecoder(body).Decode(&rec); err != nil {
 		replyError(w, http.StatusBadRequest, "bad record: %v", err)
@@ -293,7 +297,7 @@ func (s *Server) readKeys(w http.ResponseWriter, r *http.Request) ([]string, boo
 		replyError(w, http.StatusBadRequest, "bad body: %v", err)
 		return nil, false
 	}
-	defer body.Close()
+	defer body.Close() //repro:degrade request body teardown; the decode above already surfaced any read failure
 	var keys []string
 	if binary {
 		dec, err := newBinaryDecoder(body)
@@ -363,13 +367,13 @@ func batchReplyWriter(w http.ResponseWriter, r *http.Request) (recordSink, func(
 	}
 	closeGzip := func() {
 		if zw != nil {
-			zw.Close()
+			zw.Close() //repro:degrade a truncated response fails the client's decode, which retries or counts a net error
 			putGzipWriter(zw)
 		}
 	}
 	if binary {
 		enc := newBinaryEncoder(out)
-		return binarySink{enc}, func() { enc.Flush(); closeGzip() }
+		return binarySink{enc}, func() { enc.Flush(); closeGzip() } //repro:degrade a failed flush truncates the response; the client's decode catches it
 	}
 	return ndjsonSink{json.NewEncoder(out)}, closeGzip
 }
@@ -422,7 +426,7 @@ func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
-	defer body.Close()
+	defer body.Close() //repro:degrade request body teardown; the decode above already surfaced any read failure
 	var total PutReply
 	if binary {
 		dec, err := newBinaryDecoder(body)
@@ -528,7 +532,7 @@ func (s *Server) handleRingPost(w http.ResponseWriter, r *http.Request) {
 		replyError(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
-	defer body.Close()
+	defer body.Close() //repro:degrade request body teardown; the decode above already surfaced any read failure
 	var ring store.Ring
 	if err := json.NewDecoder(body).Decode(&ring); err != nil {
 		replyError(w, http.StatusBadRequest, "bad ring: %v", err)

@@ -1,0 +1,129 @@
+package store
+
+// Regression tests for true-positive reprolint findings: a merge that
+// dropped its source's Close error on the floor, and backend iteration
+// whose order leaked Go's randomized map order into merge logs.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// closeFailBackend serves entries but fails on Close — the condition
+// Merge used to swallow silently.
+type closeFailBackend struct {
+	entries    map[string][]byte
+	closeErr   error
+	forEachErr error // returned after visiting every entry
+}
+
+func (b *closeFailBackend) Get(key string) ([]byte, bool, error) {
+	v, ok := b.entries[key]
+	return v, ok, nil
+}
+func (b *closeFailBackend) Has(key string) bool { _, ok := b.entries[key]; return ok }
+func (b *closeFailBackend) Put(string, []byte) error {
+	return errors.New("read-only")
+}
+func (b *closeFailBackend) ForEach(fn func(key string, val []byte) error) error {
+	keys := make([]string, 0, len(b.entries))
+	for k := range b.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := fn(k, b.entries[k]); err != nil {
+			return err
+		}
+	}
+	return b.forEachErr
+}
+func (b *closeFailBackend) Len() int     { return len(b.entries) }
+func (b *closeFailBackend) Close() error { return b.closeErr }
+
+func TestMergeSurfacesSourceCloseError(t *testing.T) {
+	boom := errors.New("fd leaked")
+	orig := openMergeSrc
+	openMergeSrc = func(string) (Backend, error) {
+		return &closeFailBackend{
+			entries:  map[string][]byte{Key("v1", "a"): []byte(`1`)},
+			closeErr: boom,
+		}, nil
+	}
+	defer func() { openMergeSrc = orig }()
+
+	dst, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	added, err := dst.Merge("fake-dir")
+	if !errors.Is(err, boom) {
+		t.Fatalf("Merge error = %v, want the source's Close error", err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d, want 1: the close error must not undo the merged count", added)
+	}
+	if !dst.Has(Key("v1", "a")) {
+		t.Fatal("merged entry missing: the close error must not discard merged data")
+	}
+}
+
+func TestMergeDataErrorOutranksCloseError(t *testing.T) {
+	closeErr := errors.New("close also failed")
+	dataErr := errors.New("torn read mid-iteration")
+	orig := openMergeSrc
+	openMergeSrc = func(string) (Backend, error) {
+		return &closeFailBackend{
+			entries:    map[string][]byte{Key("v1", "a"): []byte(`1`)},
+			closeErr:   closeErr,
+			forEachErr: dataErr,
+		}, nil
+	}
+	defer func() { openMergeSrc = orig }()
+
+	dst, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	_, err = dst.Merge("fake-dir")
+	if !errors.Is(err, dataErr) {
+		t.Fatalf("Merge error = %v, want the data-path error", err)
+	}
+	if errors.Is(err, closeErr) {
+		t.Fatalf("Merge error = %v: the close error masked the data-path error", err)
+	}
+}
+
+func TestForEachAndKeysAreSorted(t *testing.T) {
+	b, err := OpenNDJSON(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Insert in a decidedly unsorted order.
+	for _, i := range []int{7, 2, 9, 0, 5, 3, 8, 1, 6, 4} {
+		if err := b.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited []string
+	if err := b.ForEach(func(key string, _ []byte) error {
+		visited = append(visited, key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(visited) {
+		t.Fatalf("ForEach order %v is not sorted: merge logs would inherit map order", visited)
+	}
+	if len(visited) != 10 {
+		t.Fatalf("ForEach visited %d entries, want 10", len(visited))
+	}
+	if keys := b.Keys(); !sort.StringsAreSorted(keys) || len(keys) != 10 {
+		t.Fatalf("Keys() = %v, want all 10 keys sorted", keys)
+	}
+}

@@ -14,7 +14,7 @@ import (
 
 // nowFn is the clock age-based eviction reads; a variable so tests can
 // pin it.
-var nowFn = time.Now
+var nowFn = time.Now //repro:wallclock record ages drive eviction only, never canonical output
 
 // ndjsonName is the data file inside a store directory.
 const ndjsonName = "results.ndjson"
@@ -76,7 +76,7 @@ func OpenNDJSON(dir string) (*NDJSON, error) {
 	}
 	// A stale compaction scratch file means a crash between write and
 	// rename; the data file is still authoritative, the scratch is garbage.
-	os.Remove(filepath.Join(dir, ndjsonTmpName))
+	os.Remove(filepath.Join(dir, ndjsonTmpName)) //repro:degrade best-effort cleanup; the next Compact O_TRUNCs it anyway
 	path := filepath.Join(dir, ndjsonName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -84,7 +84,7 @@ func OpenNDJSON(dir string) (*NDJSON, error) {
 	}
 	b := &NDJSON{f: f, path: path, idx: make(map[string]span)}
 	if err := b.load(); err != nil {
-		f.Close()
+		f.Close() //repro:degrade open already failed; the load error is the one to surface
 		return nil, err
 	}
 	return b, nil
@@ -267,7 +267,10 @@ func (b *NDJSON) DeadBytes() int64 {
 	return b.size - b.liveBytes
 }
 
-// ForEach implements Backend, visiting entries in unspecified order.
+// ForEach implements Backend, visiting entries in ascending key order, so
+// everything built by iterating a backend — merge logs, drain batches,
+// snapshot listings — is a pure function of the live contents, not of Go's
+// randomized map order.
 func (b *NDJSON) ForEach(fn func(key string, val []byte) error) error {
 	b.mu.Lock()
 	keys := make([]string, 0, len(b.idx))
@@ -275,6 +278,7 @@ func (b *NDJSON) ForEach(fn func(key string, val []byte) error) error {
 		keys = append(keys, k)
 	}
 	b.mu.Unlock()
+	sort.Strings(keys)
 	for _, k := range keys {
 		v, ok, err := b.Get(k)
 		if err != nil || !ok {
@@ -294,16 +298,17 @@ func (b *NDJSON) Len() int {
 	return len(b.idx)
 }
 
-// Keys returns the live key set from the in-memory index, in unspecified
-// order — no values are read. Tiered.Len uses it to count the exact union
-// of a near NDJSON tier and a far tier it cannot enumerate.
+// Keys returns the live key set from the in-memory index, sorted — no
+// values are read. Tiered.Len uses it to count the exact union of a near
+// NDJSON tier and a far tier it cannot enumerate.
 func (b *NDJSON) Keys() []string {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	keys := make([]string, 0, len(b.idx))
 	for k := range b.idx {
 		keys = append(keys, k)
 	}
+	b.mu.Unlock()
+	sort.Strings(keys)
 	return keys
 }
 
@@ -338,7 +343,7 @@ func (b *NDJSON) Compact() (kept, dropped int, err error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("store: compact: %w", err)
 	}
-	defer os.Remove(tmpPath) // no-op after a successful rename
+	defer os.Remove(tmpPath) //repro:degrade no-op after a successful rename; a stranded scratch is removed at next open
 
 	// Stable rewrite order: live records by their current file offset, so
 	// compacting is a pure function of the log's live contents.
@@ -367,7 +372,7 @@ func (b *NDJSON) Compact() (kept, dropped int, err error) {
 			continue
 		}
 		if _, werr := w.Write(buf); werr != nil {
-			tmp.Close()
+			tmp.Close() //repro:degrade compact already failed; the write error is the one to surface
 			return 0, 0, fmt.Errorf("store: compact: %w", werr)
 		}
 		newIdx[e.key] = span{off: off, len: e.sp.len, t: e.sp.t}
@@ -375,20 +380,20 @@ func (b *NDJSON) Compact() (kept, dropped int, err error) {
 		kept++
 	}
 	if err := w.Flush(); err != nil {
-		tmp.Close()
+		tmp.Close() //repro:degrade compact already failed; the flush error is the one to surface
 		return 0, 0, fmt.Errorf("store: compact: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //repro:degrade compact already failed; the sync error is the one to surface
 		return 0, 0, fmt.Errorf("store: compact: %w", err)
 	}
 	if err := os.Rename(tmpPath, path); err != nil {
-		tmp.Close()
+		tmp.Close() //repro:degrade compact already failed; the rename error is the one to surface
 		return 0, 0, fmt.Errorf("store: compact: %w", err)
 	}
 	dropped += int(b.superseded) + int(b.dead) + int(b.deleted)
-	b.f.Close()
-	b.f = tmp // now named `path`; the fd survived the rename
+	b.f.Close() //repro:degrade the old unlinked fd; its data was fully rewritten and renamed over
+	b.f = tmp   // now named `path`; the fd survived the rename
 	b.idx = newIdx
 	b.size = off
 	b.liveBytes = off

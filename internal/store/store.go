@@ -188,7 +188,8 @@ type grouper interface {
 // Store is the two-tier content-addressed result store. Safe for concurrent
 // use from a worker pool.
 type Store struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//repro:guardedby mu
 	lru *lruCache
 	be  Backend // nil for a memory-only store
 
@@ -265,7 +266,7 @@ func (s *Store) Peek(key string) ([]byte, bool) {
 		return v, true
 	}
 	if s.be != nil {
-		if v, ok, _ := s.be.Get(key); ok {
+		if v, ok, _ := s.be.Get(key); ok { //repro:degrade a failed infrastructure read is an absent key, and must not skew Stats
 			return v, true
 		}
 	}
@@ -382,7 +383,7 @@ func (s *Store) Prefetch(keys []string) map[string]bool {
 			return present // per-key Gets will retry (and count) each failure
 		}
 		s.mu.Lock()
-		for k, v := range vals {
+		for k, v := range vals { //repro:unordered LRU insertion order only shifts eviction priority, never a result
 			s.lru.put(k, v)
 			present[k] = true
 		}
@@ -535,6 +536,10 @@ func (s *Store) Close() error {
 	return s.be.Close()
 }
 
+// openMergeSrc opens one merge source directory; a variable so tests can
+// inject failing sources (like nowFn for the clock).
+var openMergeSrc = func(dir string) (Backend, error) { return OpenNDJSON(dir) }
+
 // Merge folds every entry of the NDJSON stores in dirs into s (the shard
 // fold: m processes prime disjoint key slices into their own directories,
 // then one process merges them and replays the whole sweep from cache —
@@ -551,7 +556,7 @@ func (s *Store) Merge(dirs ...string) (int, error) {
 	bb, batched := s.be.(BatchBackend)
 	added := 0
 	for _, dir := range dirs {
-		src, err := OpenNDJSON(dir)
+		src, err := openMergeSrc(dir)
 		if err != nil {
 			return added, fmt.Errorf("store: merge %s: %w", dir, err)
 		}
@@ -603,9 +608,12 @@ func (s *Store) Merge(dirs ...string) (int, error) {
 				return nil
 			})
 		}
-		src.Close()
+		cerr := src.Close()
 		if err != nil {
 			return added, fmt.Errorf("store: merge %s: %w", dir, err)
+		}
+		if cerr != nil {
+			return added, fmt.Errorf("store: merge %s: close: %w", dir, cerr)
 		}
 	}
 	return added, nil
@@ -623,9 +631,9 @@ func Key(salt string, v any) string {
 		return ""
 	}
 	h := sha256.New()
-	h.Write([]byte(salt))
-	h.Write([]byte{0})
-	h.Write(b)
+	h.Write([]byte(salt)) //repro:degrade hash.Hash.Write is documented to never error
+	h.Write([]byte{0})    //repro:degrade hash.Hash.Write is documented to never error
+	h.Write(b)            //repro:degrade hash.Hash.Write is documented to never error
 	return hex.EncodeToString(h.Sum(nil))
 }
 

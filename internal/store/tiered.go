@@ -28,12 +28,12 @@ func NewTiered(near, far Backend) *Tiered {
 
 // Get implements Backend: near tier first, then far with write-back.
 func (t *Tiered) Get(key string) ([]byte, bool, error) {
-	if v, ok, _ := t.near.Get(key); ok {
+	if v, ok, _ := t.near.Get(key); ok { //repro:degrade a near-tier read failure degrades to a far-tier lookup
 		return v, true, nil
 	}
 	v, ok, err := t.far.Get(key)
 	if ok {
-		t.near.Put(key, v) // best-effort write-back; a failure just costs a future round trip
+		t.near.Put(key, v) //repro:degrade best-effort write-back; a failure just costs a future round trip
 		return v, true, nil
 	}
 	return nil, false, err
@@ -133,7 +133,7 @@ func (t *Tiered) GetBatch(keys []string) (map[string][]byte, error) {
 	out := make(map[string][]byte, len(keys))
 	var missing []string
 	for _, k := range keys {
-		if v, ok, _ := t.near.Get(k); ok {
+		if v, ok, _ := t.near.Get(k); ok { //repro:degrade a near-tier read failure degrades to the far batch below
 			out[k] = v
 		} else {
 			missing = append(missing, k)
@@ -149,9 +149,13 @@ func (t *Tiered) GetBatch(keys []string) (map[string][]byte, error) {
 		}
 		return nil, err
 	}
-	for k, v := range far {
-		t.near.Put(k, v)
-		out[k] = v
+	// Walk the request order, not the reply map: write-backs land in the
+	// near tier's log in a deterministic order.
+	for _, k := range missing {
+		if v, ok := far[k]; ok {
+			t.near.Put(k, v) //repro:degrade best-effort write-back; a failure just costs a future round trip
+			out[k] = v
+		}
 	}
 	return out, nil
 }
@@ -289,7 +293,7 @@ func getBatch(be Backend, keys []string) (map[string][]byte, error) {
 	}
 	out := make(map[string][]byte, len(keys))
 	for _, k := range keys {
-		if v, ok, _ := be.Get(k); ok {
+		if v, ok, _ := be.Get(k); ok { //repro:degrade the per-key fallback reads a failed Get as a miss, like Store.Get
 			out[k] = v
 		}
 	}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# lint.sh — build reprolint and run it over the whole repo as a go vet tool.
+#
+#   scripts/lint.sh           build the tool and lint ./...
+#   scripts/lint.sh -print    build the tool and print its path (for use as
+#                             `go vet -vettool=$(scripts/lint.sh -print) ./...`)
+#
+# reprolint speaks the vet unitchecker protocol, so `go vet -vettool` gives
+# it per-package caching and the exact build configuration (tags, embedded
+# files, test variants) the real build uses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="${TMPDIR:-/tmp}/reprolint"
+go build -o "$bin" ./cmd/reprolint
+
+if [[ "${1:-}" == "-print" ]]; then
+    echo "$bin"
+    exit 0
+fi
+
+exec go vet -vettool="$bin" ./...
