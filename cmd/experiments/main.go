@@ -43,6 +43,16 @@
 //	experiments -cache DIR -store URL -merge D1,D2   # push local shard stores
 //	                                                 # up to the fleet store
 //
+// Observability (see README "Observability"): -capture persists every
+// executed unit's step log into the store's blob tier, keyed by the same
+// content address as its result; -replay KEY re-materializes one captured
+// execution — verified against the machine's replayer, rendered as a
+// per-process timeline plus summary — with zero re-simulation. cmd/observe
+// browses the same blobs interactively.
+//
+//	experiments -quick -cache DIR -capture   # capture while running
+//	experiments -cache DIR -replay KEY       # replay one stored execution
+//
 // Tables go to stdout; timing, cache statistics and diagnostics go to
 // stderr, so stdout is byte-identical across cold, warm, and
 // sharded-then-merged runs at any -parallel setting.
@@ -61,6 +71,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/prof"
 	"repro/internal/remote"
+	"repro/internal/runner"
+	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -96,6 +109,8 @@ func run(args []string, w io.Writer) error {
 		storeURL = fs.String("store", "", "remote result-store URL(s), comma-separated (stored services, e.g. http://127.0.0.1:9200 or URL1,URL2 for a hash-routed fleet tier); with -cache, the directory becomes a local near tier")
 		shardArg = fs.String("shard", "", "i/m: prime only shard i of m's keys into the store and print no tables")
 		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
+		capture  = fs.Bool("capture", false, "persist every executed unit's step trace into the store's blob tier (requires -cache or -store)")
+		replay   = fs.String("replay", "", "KEY: re-materialize the captured execution stored under KEY (timeline + summary, zero re-simulation) and exit")
 	)
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -139,12 +154,23 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer cli.Close()
+	if (*capture || *replay != "") && cli.Store == nil {
+		return fmt.Errorf("-capture and -replay need somewhere to keep traces: pass -cache or -store")
+	}
+	if *replay != "" {
+		if err := replayKey(w, cli.Store, *replay); err != nil {
+			return err
+		}
+		cli.PrintStats(os.Stderr, "experiments")
+		return nil
+	}
 	shardI, shardM := cli.ShardI, cli.ShardM
 	priming := cli.Priming()
 
 	cfg := experiments.Config{
 		Quick: *quick, Seed: *seed, Workers: *parallel,
 		Cache: cli.Store, Shard: shardI, Shards: shardM,
+		Capture: *capture,
 	}
 	enc := json.NewEncoder(w)
 	failures := 0
@@ -188,5 +214,43 @@ func run(args []string, w io.Writer) error {
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) failed their shape checks", failures)
 	}
+	return nil
+}
+
+// replayKey re-materializes one captured execution from the store's blob
+// tier: decode, verify every step against a fresh replayer (zero
+// re-simulation — the machine only re-applies the recorded steps), then
+// render the timeline and per-process summary to stdout. The stderr line
+// carries the step and SC counts for scripts to grep.
+func replayKey(w io.Writer, st *store.Store, key string) error {
+	blob, ok := st.BlobGet(key)
+	if !ok {
+		return fmt.Errorf("no captured trace under %s (capture one with -capture)", key)
+	}
+	rec, err := trace.DecodeRecord(blob)
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", key, err)
+	}
+	f, err := runner.NewFactory(rec.Algo, rec.N)
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", key, err)
+	}
+	sc, err := trace.VerifyRecord(f, rec)
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", key, err)
+	}
+	tl, err := trace.Timeline(f, rec.Exec, trace.Options{})
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", key, err)
+	}
+	sum, err := trace.Summary(f, rec.Exec)
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", key, err)
+	}
+	fmt.Fprintf(w, "replay %s\nalgo=%s n=%d steps=%d sc=%d\n\n", key, rec.Algo, rec.N, len(rec.Exec), sc)
+	fmt.Fprint(w, tl)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, sum)
+	fmt.Fprintf(os.Stderr, "experiments: replayed %s steps=%d sc=%d\n", key, len(rec.Exec), sc) //repro:degrade diagnostic line on stderr
 	return nil
 }

@@ -1,0 +1,297 @@
+// Command observe streams captured execution traces — the blobs the
+// -capture flag of cmd/experiments and cmd/tournament persists — without
+// re-simulating anything: every view below is rendered by re-applying the
+// recorded steps through the machine's replayer, from a local store or a
+// routed fleet.
+//
+// Usage:
+//
+//	observe -cache DIR -list            # enumerate captured traces
+//	observe -cache DIR KEY              # per-process timeline + summary
+//	observe -cache DIR -summary KEY     # per-process totals only
+//	observe -cache DIR -heatmap KEY     # per-register access heatmap
+//	observe -cache DIR -metasteps KEY   # state-change (metastep) boundaries
+//	observe -store URL KEY              # fetch the trace from a fleet
+//	observe -cache DIR -max 200 KEY     # cap the timeline length
+//
+// Keys are the same content addresses the result store uses — the key a
+// run's -capture stored is the key its result is cached under, so a row in
+// any experiment table can be traced back to the exact execution that
+// produced it. Every trace is verified against a fresh replayer before it
+// is rendered: a blob that does not replay to the recorded cost bit for
+// bit is refused, never displayed.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/mutex"
+	"repro/internal/program"
+	"repro/internal/remote"
+	"repro/internal/runner"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "observe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("observe", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		cacheDir  = fs.String("cache", "", "result store directory holding the blob tier (created if missing)")
+		storeURL  = fs.String("store", "", "remote result-store URL(s), comma-separated; traces are fetched from the fleet's blob tier")
+		list      = fs.Bool("list", false, "enumerate captured traces (key, algorithm, n, steps) and exit")
+		summary   = fs.Bool("summary", false, "print only the per-process summary")
+		heatmap   = fs.Bool("heatmap", false, "print only the per-register access heatmap")
+		metasteps = fs.Bool("metasteps", false, "print only the state-change (metastep) boundaries")
+		maxSteps  = fs.Int("max", 0, "cap the rendered timeline at this many steps (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	st, _, err := remote.Mount(*cacheDir, *storeURL)
+	if err != nil {
+		return err
+	}
+	if st == nil {
+		fs.Usage()
+		return fmt.Errorf("traces live in a store: pass -cache DIR and/or -store URL")
+	}
+	defer st.Close()
+
+	if *list {
+		return listTraces(w, st)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one KEY argument expected (or -list); got %d", fs.NArg())
+	}
+	key := fs.Arg(0)
+	rec, f, sc, err := load(st, key)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace %s\nalgo=%s n=%d steps=%d sc=%d\n\n", key, rec.Algo, rec.N, len(rec.Exec), sc)
+
+	views := 0
+	if *summary {
+		views++
+		if err := summaryView(w, f, rec); err != nil {
+			return err
+		}
+	}
+	if *heatmap {
+		views++
+		if err := heatmapView(w, f, rec); err != nil {
+			return err
+		}
+	}
+	if *metasteps {
+		views++
+		if err := metastepView(w, f, rec); err != nil {
+			return err
+		}
+	}
+	if views == 0 {
+		tl, err := trace.Timeline(f, rec.Exec, trace.Options{MaxSteps: *maxSteps, RegisterName: regNamer(f)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, tl)
+		fmt.Fprintln(w)
+		if err := summaryView(w, f, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// load fetches, decodes and verifies one captured trace.
+func load(st *store.Store, key string) (trace.Record, program.Factory, int, error) {
+	blob, ok := st.BlobGet(key)
+	if !ok {
+		return trace.Record{}, nil, 0, fmt.Errorf("no captured trace under %s (capture one with `experiments -capture` or `tournament -capture`)", key)
+	}
+	rec, err := trace.DecodeRecord(blob)
+	if err != nil {
+		return trace.Record{}, nil, 0, fmt.Errorf("%s: %w", key, err)
+	}
+	f, err := runner.NewFactory(rec.Algo, rec.N)
+	if err != nil {
+		return trace.Record{}, nil, 0, fmt.Errorf("%s: %w", key, err)
+	}
+	sc, err := trace.VerifyRecord(f, rec)
+	if err != nil {
+		return trace.Record{}, nil, 0, fmt.Errorf("%s: %w", key, err)
+	}
+	return rec, f, sc, nil
+}
+
+// listTraces enumerates the blob tier, decoding each trace for its
+// coordinates — the fastest way to find a key worth replaying.
+func listTraces(w io.Writer, st *store.Store) error {
+	keys := st.BlobKeys()
+	if keys == nil {
+		return fmt.Errorf("this mount cannot enumerate traces (fleet blob tiers fetch by key); list against the server's own -cache directory")
+	}
+	for _, k := range keys {
+		blob, ok := st.BlobGet(k)
+		if !ok {
+			continue
+		}
+		rec, err := trace.DecodeRecord(blob)
+		if err != nil {
+			fmt.Fprintf(w, "%s  (undecodable: %v)\n", k, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s  algo=%s n=%d steps=%d\n", k, rec.Algo, rec.N, len(rec.Exec))
+	}
+	fmt.Fprintf(os.Stderr, "observe: %d captured trace(s)\n", len(keys)) //repro:degrade diagnostic line on stderr
+	return nil
+}
+
+// regNamer resolves register names when the factory exposes a layout
+// (the register-only algorithms of internal/mutex); r%d otherwise.
+func regNamer(f program.Factory) func(model.RegID) string {
+	lf, ok := f.(interface{ Layout() *mutex.Layout })
+	if !ok {
+		return nil // trace.Options falls back to r%d
+	}
+	return func(r model.RegID) string {
+		if name := lf.Layout().Name(r); name != "" {
+			return name
+		}
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// summaryView prints the per-process totals.
+func summaryView(w io.Writer, f program.Factory, rec trace.Record) error {
+	sum, err := trace.Summary(f, rec.Exec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, sum)
+	return nil
+}
+
+// heatmapView aggregates shared accesses per register: how often each was
+// read, written, RMW'd, and how many of those accesses the SC model
+// charged — the register contention picture of the run, with a bar scaled
+// to the busiest register.
+func heatmapView(w io.Writer, f program.Factory, rec trace.Record) error {
+	type cell struct{ reads, writes, rmws, charged int }
+	var maxReg model.RegID
+	for _, s := range rec.Exec {
+		if s.IsShared() && s.Reg > maxReg {
+			maxReg = s.Reg
+		}
+	}
+	cells := make([]cell, int(maxReg)+1)
+	rep := machine.NewReplayer(f)
+	for t, s := range rec.Exec {
+		before := rep.SCCost()
+		done, err := rep.Apply(s)
+		if err != nil {
+			return fmt.Errorf("heatmap: step %d: %w", t, err)
+		}
+		if !done.IsShared() {
+			continue
+		}
+		c := &cells[done.Reg]
+		switch done.Kind {
+		case model.KindRead:
+			c.reads++
+		case model.KindWrite:
+			c.writes++
+		case model.KindRMW:
+			c.rmws++
+		}
+		if rep.SCCost() != before {
+			c.charged++
+		}
+	}
+	busiest := 1
+	for _, c := range cells {
+		if t := c.reads + c.writes + c.rmws; t > busiest {
+			busiest = t
+		}
+	}
+	name := regNamer(f)
+	if name == nil {
+		name = func(r model.RegID) string { return fmt.Sprintf("r%d", r) }
+	}
+	fmt.Fprintf(w, "%-16s %7s %7s %7s %8s  load\n", "register", "reads", "writes", "rmws", "charged")
+	for r, c := range cells {
+		total := c.reads + c.writes + c.rmws
+		if total == 0 {
+			continue
+		}
+		bar := (total*32 + busiest - 1) / busiest
+		fmt.Fprintf(w, "%-16s %7d %7d %7d %8d  %s\n",
+			name(model.RegID(r)), c.reads, c.writes, c.rmws, c.charged,
+			"##################################"[:bar])
+	}
+	return nil
+}
+
+// metastepView prints the run's state-change boundaries: each step the SC
+// model charged opens a metastep, and the free steps that follow (local
+// spins re-reading an unchanged register) belong to it. The step spans
+// show how much real time each unit of SC cost absorbs — the busywait
+// discount of the model, made visible.
+func metastepView(w io.Writer, f program.Factory, rec trace.Record) error {
+	rep := machine.NewReplayer(f)
+	name := regNamer(f)
+	if name == nil {
+		name = func(r model.RegID) string { return fmt.Sprintf("r%d", r) }
+	}
+	describe := func(s model.Step) string {
+		if s.Kind == model.KindCrit {
+			return fmt.Sprintf("p%d %s", s.Proc, s.Crit)
+		}
+		return fmt.Sprintf("p%d %s %s", s.Proc, s.Kind, name(s.Reg))
+	}
+	fmt.Fprintf(w, "%-6s %-14s %6s  boundary\n", "meta", "steps", "free")
+	meta, start := 0, 0
+	var boundary string
+	flush := func(end int) {
+		if boundary == "" {
+			if end > start {
+				fmt.Fprintf(w, "%-6s [%d..%d] %6d  (uncharged prelude)\n", "-", start, end-1, end-start)
+			}
+			return
+		}
+		fmt.Fprintf(w, "%-6d [%d..%d] %6d  %s\n", meta, start, end-1, end-start-1, boundary)
+		meta++
+	}
+	for t, s := range rec.Exec {
+		before := rep.SCCost()
+		done, err := rep.Apply(s)
+		if err != nil {
+			return fmt.Errorf("metasteps: step %d: %w", t, err)
+		}
+		if rep.SCCost() != before {
+			flush(t)
+			start, boundary = t, describe(done)
+		}
+	}
+	flush(len(rec.Exec))
+	fmt.Fprintf(w, "%d metasteps over %d steps\n", meta, len(rec.Exec))
+	return nil
+}

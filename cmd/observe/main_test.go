@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/runner"
+	"repro/internal/store"
+)
+
+// captureOne runs one job with capture on into a file-backed store and
+// returns the store directory and the captured key.
+func captureOne(t *testing.T) (dir, key string) {
+	t.Helper()
+	dir = t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := store.OpenFileBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetBlobs(fb)
+	j := runner.Job{Algo: "yang-anderson", N: 3, Sched: machine.RoundRobinSpec()}
+	eng := runner.NewCached(runner.New(1), st).WithCapture(true)
+	if err := eng.Run([]runner.Job{j}, func(r runner.Result) error { return r.Err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, j.CacheKey()
+}
+
+func observe(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("observe %v: %v", args, err)
+	}
+	return out.String()
+}
+
+func TestObserveViews(t *testing.T) {
+	dir, key := captureOne(t)
+
+	list := observe(t, "-cache", dir, "-list")
+	if !strings.Contains(list, key) || !strings.Contains(list, "algo=yang-anderson n=3") {
+		t.Fatalf("-list missing the captured trace:\n%s", list)
+	}
+
+	full := observe(t, "-cache", dir, key)
+	for _, want := range []string{"trace " + key, "algo=yang-anderson n=3", "p0", "CS-interval"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("default view missing %q:\n%s", want, full)
+		}
+	}
+
+	heat := observe(t, "-cache", dir, "-heatmap", key)
+	if !strings.Contains(heat, "register") || !strings.Contains(heat, "charged") {
+		t.Errorf("heatmap missing header:\n%s", heat)
+	}
+
+	meta := observe(t, "-cache", dir, "-metasteps", key)
+	if !strings.Contains(meta, "metasteps over") {
+		t.Errorf("metasteps missing footer:\n%s", meta)
+	}
+
+	capped := observe(t, "-cache", dir, "-max", "5", key)
+	if len(capped) >= len(full) {
+		t.Errorf("-max 5 did not shorten the timeline (%d vs %d bytes)", len(capped), len(full))
+	}
+}
+
+func TestObserveRejectsMissingKeyAndMount(t *testing.T) {
+	if err := run([]string{"-list"}, &bytes.Buffer{}); err == nil {
+		t.Error("no -cache/-store accepted")
+	}
+	dir, _ := captureOne(t)
+	if err := run([]string{"-cache", dir, strings.Repeat("0", 64)}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if err := run([]string{"-cache", dir}, &bytes.Buffer{}); err == nil {
+		t.Error("missing KEY argument accepted")
+	}
+}

@@ -166,6 +166,12 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	st := store.New(*lruEntries, be)
+	blobs, err := store.OpenFileBlobs(*dir)
+	if err != nil {
+		st.Close() //repro:degrade error-path teardown; the open failure below is the one to surface
+		return err
+	}
+	st.SetBlobs(blobs)
 	defer st.Close()
 
 	ln, err := net.Listen("tcp", *addr)

@@ -90,6 +90,7 @@ func run(args []string, w io.Writer) error {
 		storeURL = fs.String("store", "", "remote result-store URL(s), comma-separated (stored services, e.g. http://127.0.0.1:9200 or URL1,URL2 for a hash-routed fleet tier); with -cache, the directory becomes a local near tier")
 		shardArg = fs.String("shard", "", "i/m: run only shard i of m's (algo, n) cells into the store, no stdout")
 		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
+		capture  = fs.Bool("capture", false, "persist every executed candidate's step trace into the store's blob tier (requires -cache or -store)")
 	)
 	profFlags := prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -109,7 +110,10 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer cli.Close()
-	eng := runner.NewCached(runner.New(*parallel), cli.Store).WithShard(cli.ShardI, cli.ShardM)
+	if *capture && cli.Store == nil {
+		return fmt.Errorf("-capture needs somewhere to keep traces: pass -cache or -store")
+	}
+	eng := runner.NewCached(runner.New(*parallel), cli.Store).WithShard(cli.ShardI, cli.ShardM).WithCapture(*capture)
 	priming := eng.Priming()
 
 	algos := splitCSV(*algosCSV)

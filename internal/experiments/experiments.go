@@ -54,6 +54,11 @@ type Config struct {
 	// shards split one suite; store.Merge folds their caches back together
 	// for a full replay.
 	Shard, Shards int
+	// Capture persists every executed unit's step log into Cache's blob
+	// tier under the unit's own key (see runner.CachedEngine.WithCapture),
+	// so any row of any table can later be replayed and inspected without
+	// re-simulating. No effect without a Cache.
+	Capture bool
 }
 
 // eng returns the engine experiments fan out on.
@@ -62,7 +67,7 @@ func (cfg Config) eng() *runner.CachedEngine {
 	if cfg.Shards > 0 {
 		ce = ce.WithShard(cfg.Shard, cfg.Shards)
 	}
-	return ce
+	return ce.WithCapture(cfg.Capture)
 }
 
 // ukey builds an experiment-unit store key from pure value parts under the

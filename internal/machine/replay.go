@@ -140,18 +140,27 @@ func DefaultHorizon(n int) int {
 // canonical execution driver: "n different processes, each of which enters
 // the critical section exactly once."
 func RunCanonical(f program.Factory, sched Scheduler, maxSteps int) (model.Execution, error) {
+	exec, _, err := RunCanonicalChanged(f, sched, maxSteps)
+	return exec, err
+}
+
+// RunCanonicalChanged is RunCanonical plus the system's per-step changed
+// flags (one bool per executed step, true when the step wrote a new value
+// into its register). Trace capture persists the flags beside the step log
+// so a later replay can verify the run's cost accounting bit for bit.
+func RunCanonicalChanged(f program.Factory, sched Scheduler, maxSteps int) (model.Execution, []bool, error) {
 	if maxSteps <= 0 {
 		maxSteps = DefaultHorizon(f.N())
 	}
 	s := NewSystem(f)
 	trace, err := Run(s, sched, maxSteps)
 	if err != nil {
-		return trace, err
+		return trace, s.Changed(), err
 	}
 	for i := 0; i < f.N(); i++ {
 		if got := s.CSCompleted(i); got != 1 {
-			return trace, fmt.Errorf("machine: canonical run: process %d completed %d critical sections, want 1", i, got)
+			return trace, s.Changed(), fmt.Errorf("machine: canonical run: process %d completed %d critical sections, want 1", i, got)
 		}
 	}
-	return trace, nil
+	return trace, s.Changed(), nil
 }

@@ -1,0 +1,209 @@
+package remote
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Blob endpoints: the trace-payload tier over the wire. One opaque payload
+// per request, carried as a single record in the batch endpoints' binary
+// framing (binary.go) — the key rides inside the frame, so both directions
+// are self-describing and a key mismatch is refused instead of stored —
+// gzipped through the shared coder pools. The client side implements
+// store.BlobBackend, so a fleet mount captures and replays traces exactly
+// like a local directory does.
+
+// handleBlobGet serves GET /v1/blob/get?k=KEY: the framed payload, 404 on
+// a miss, 501 when the server mounts no blob tier (so a mixed fleet reads
+// as absent rather than erroring).
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	s.req.blobGet.Add(1)
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	if s.st.Blobs() == nil {
+		replyError(w, http.StatusNotImplemented, "no blob tier mounted")
+		return
+	}
+	v, ok := s.st.BlobGet(k)
+	if !ok {
+		replyError(w, http.StatusNotFound, "not found")
+		return
+	}
+	gz := strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+	w.Header().Set("Content-Type", binaryContentType)
+	if gz {
+		w.Header().Set("Content-Encoding", "gzip")
+	}
+	w.WriteHeader(http.StatusOK)
+	out := io.Writer(w)
+	var zw *gzip.Writer
+	if gz {
+		zw = getGzipWriter(w)
+		out = zw
+	}
+	enc := newBinaryEncoder(out)
+	enc.Record(k, v)
+	enc.Flush() //repro:degrade a truncated response fails the client's decode, which counts a net error
+	if zw != nil {
+		zw.Close() //repro:degrade same: truncation surfaces at the client's decode
+		putGzipWriter(zw)
+	}
+}
+
+// handleBlobPut serves POST /v1/blob/put: one framed record in, 204 out.
+// The write is verified present before acknowledging — a pusher must not
+// believe a capture is durable when the tier degraded it away.
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	s.req.blobPut.Add(1)
+	if s.st.Blobs() == nil {
+		replyError(w, http.StatusNotImplemented, "no blob tier mounted")
+		return
+	}
+	body, err := requestBody(w, r)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	defer body.Close() //repro:degrade request body teardown; the decode below already surfaced any read failure
+	dec, err := newBinaryDecoder(body)
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "bad binary body: %v", err)
+		return
+	}
+	defer dec.Close()
+	k, v, more, err := dec.Next()
+	if err != nil {
+		replyError(w, http.StatusBadRequest, "bad blob record: %v", err)
+		return
+	}
+	if !more || k == "" || len(v) == 0 {
+		replyError(w, http.StatusBadRequest, "blob body needs one key and payload")
+		return
+	}
+	if _, _, trailing, terr := dec.Next(); terr != nil || trailing {
+		replyError(w, http.StatusBadRequest, "blob body carries more than one record")
+		return
+	}
+	s.st.BlobPut(k, v)
+	if !s.st.BlobHas(k) {
+		replyError(w, http.StatusInternalServerError, "blob write degraded")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleBlobHas serves GET /v1/blob/has?k=KEY: 204 present, 404 absent (a
+// blob-less tier is absent for every key, like every presence failure).
+func (s *Server) handleBlobHas(w http.ResponseWriter, r *http.Request) {
+	s.req.blobHas.Add(1)
+	k, ok := keyParam(w, r)
+	if !ok {
+		return
+	}
+	if !s.st.BlobHas(k) {
+		replyError(w, http.StatusNotFound, "not found")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// BlobGet implements store.BlobBackend over the wire. A server without a
+// blob tier (501) reads as absent, like every other miss.
+func (c *Client) BlobGet(key string) ([]byte, bool, error) {
+	c.gets.Add(1)
+	resp, err := c.do(http.MethodGet, "/v1/blob/get?k="+url.QueryEscape(key), nil,
+		map[string]string{"Accept-Encoding": "gzip"})
+	if err != nil {
+		return nil, false, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		rd := io.Reader(resp.Body)
+		if resp.Header.Get("Content-Encoding") == "gzip" {
+			zr, err := getGzipReader(resp.Body)
+			if err != nil {
+				return nil, false, fmt.Errorf("remote: blob get %s: %w", key, err)
+			}
+			pz := &pooledGzipReadCloser{zr: zr}
+			defer pz.Close() //repro:degrade pool return; a corrupt stream already failed the decode below
+			rd = pz
+		}
+		dec, err := newBinaryDecoder(rd)
+		if err != nil {
+			return nil, false, fmt.Errorf("remote: blob get %s: %w", key, err)
+		}
+		defer dec.Close()
+		k, v, more, err := dec.Next()
+		if err != nil || !more {
+			return nil, false, fmt.Errorf("remote: blob get %s: empty or broken reply (%v)", key, err)
+		}
+		if k != key {
+			return nil, false, fmt.Errorf("remote: blob get %s: server answered for key %s", key, k)
+		}
+		return v, true, nil
+	case http.StatusNotFound, http.StatusNotImplemented:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("remote: blob get %s: unexpected %s", key, resp.Status)
+	}
+}
+
+// BlobPut implements store.BlobBackend over the wire: one gzipped framed
+// record. Failures surface as errors the wrapping Store counts and drops —
+// a lost capture only costs a future replay a re-simulation.
+func (c *Client) BlobPut(key string, val []byte) error {
+	c.puts.Add(1)
+	buf := getBuf()
+	defer putBuf(buf)
+	zw := getGzipWriter(buf)
+	enc := newBinaryEncoder(zw)
+	enc.Record(key, val)
+	err := enc.Flush()
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	putGzipWriter(zw)
+	if err != nil {
+		return fmt.Errorf("remote: blob put %s: %w", key, err)
+	}
+	resp, err := c.do(http.MethodPost, "/v1/blob/put", buf.Bytes(), map[string]string{
+		"Content-Type":     binaryContentType,
+		"Content-Encoding": "gzip",
+	})
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("remote: blob put %s: unexpected %s", key, resp.Status)
+	}
+	return nil
+}
+
+// BlobHas implements store.BlobBackend over the wire; any failure reads as
+// absent.
+func (c *Client) BlobHas(key string) bool {
+	resp, err := c.do(http.MethodGet, "/v1/blob/has?k="+url.QueryEscape(key), nil, nil)
+	if err != nil {
+		return false
+	}
+	defer drainClose(resp)
+	return resp.StatusCode == http.StatusNoContent
+}
+
+// BlobLen implements store.BlobBackend with the server's authoritative
+// count; an unreachable server reads as empty.
+func (c *Client) BlobLen() int {
+	sr, err := c.Ping()
+	if err != nil {
+		return 0
+	}
+	return sr.Blobs
+}

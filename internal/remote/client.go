@@ -168,7 +168,10 @@ func (c *Client) do(method, path string, body []byte, hdr map[string]string) (*h
 			lastErr = fmt.Errorf("remote: %s %s: %w", method, path, err)
 			continue
 		}
-		if resp.StatusCode >= 500 {
+		// 501 is exempt from the 5xx retry: it is a deliberate capability
+		// answer (this server mounts no blob tier), not a transient fault,
+		// so it passes through for the caller to read as absence.
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusNotImplemented {
 			drainClose(resp)
 			lastErr = fmt.Errorf("remote: %s %s: server error %s", method, path, resp.Status)
 			continue

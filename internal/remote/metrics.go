@@ -1,0 +1,161 @@
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics surface: GET /v1/metrics renders the server's counters in the
+// Prometheus text exposition format (version 0.0.4), stdlib-only per the
+// zero-dependency policy. Everything here is deterministic in structure —
+// endpoint names and bucket bounds are fixed arrays, never map iterations
+// — so two scrapes differ only in the counter values.
+
+// nowMetrics is the clock request latency is measured on; a variable so
+// tests can pin it.
+var nowMetrics = time.Now //repro:wallclock request latency feeds the metrics surface only, never canonical output
+
+// metricEndpoints names the latency-histogram partitions, one per /v1
+// path plus a catch-all. Order is the exposition order.
+var metricEndpoints = [...]string{
+	"get", "has", "put", "mget", "mhas", "mput", "stats", "compact",
+	"ring", "drain", "blob_get", "blob_put", "blob_has", "metrics", "other",
+}
+
+// numMetricEndpoints sizes the server's histogram array.
+const numMetricEndpoints = 15
+
+// metricEndpointIndex classifies a request path into metricEndpoints.
+func metricEndpointIndex(path string) int {
+	switch path {
+	case "/v1/get":
+		return 0
+	case "/v1/has":
+		return 1
+	case "/v1/put":
+		return 2
+	case "/v1/mget":
+		return 3
+	case "/v1/mhas":
+		return 4
+	case "/v1/mput":
+		return 5
+	case "/v1/stats":
+		return 6
+	case "/v1/compact":
+		return 7
+	case "/v1/ring":
+		return 8
+	case "/v1/drain":
+		return 9
+	case "/v1/blob/get":
+		return 10
+	case "/v1/blob/put":
+		return 11
+	case "/v1/blob/has":
+		return 12
+	case "/v1/metrics":
+		return 13
+	default:
+		return 14
+	}
+}
+
+// latencyBuckets are the histogram's upper bounds in seconds (an implicit
+// +Inf bucket follows): 100µs to 2.5s, the span from an in-memory point
+// get to a full compact on a cold disk.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// latencyHistogram is one endpoint's request-duration histogram: per-bin
+// atomic counts (cumulated into Prometheus's le-labelled buckets at render
+// time), total count, and summed nanoseconds.
+type latencyHistogram struct {
+	bins     [len(latencyBuckets) + 1]atomic.Int64 // last bin is +Inf
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// observe records one request duration.
+func (h *latencyHistogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.bins[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// handleMetrics serves GET /v1/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.req.metrics.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	b := bufio.NewWriter(w)
+	defer b.Flush() //repro:degrade a response-write failure means the scraper hung up
+	// bufio errors are sticky — after the first failed write every later
+	// one is a no-op and the deferred Flush reports it — so each line's
+	// individual result carries no extra signal.
+	emit := func(format string, args ...any) {
+		fmt.Fprintf(b, format, args...) //repro:degrade sticky bufio error, surfaced once by the deferred Flush
+	}
+
+	// Request totals come from the dispatch-time histograms, so every
+	// endpoint — stats and metrics included — counts uniformly.
+	emit("# HELP stored_requests_total Requests dispatched, by endpoint.\n")
+	emit("# TYPE stored_requests_total counter\n")
+	for i, name := range metricEndpoints {
+		emit("stored_requests_total{endpoint=%q} %d\n", name, s.lat[i].count.Load())
+	}
+
+	emit("# HELP stored_request_duration_seconds Request latency, by endpoint.\n")
+	emit("# TYPE stored_request_duration_seconds histogram\n")
+	for i, name := range metricEndpoints {
+		h := &s.lat[i]
+		if h.count.Load() == 0 {
+			continue // silent endpoints would quadruple the scrape for no signal
+		}
+		var cum int64
+		for bi := range latencyBuckets {
+			cum += h.bins[bi].Load()
+			le := strconv.FormatFloat(latencyBuckets[bi], 'g', -1, 64)
+			emit("stored_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", name, le, cum)
+		}
+		cum += h.bins[len(latencyBuckets)].Load()
+		emit("stored_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		emit("stored_request_duration_seconds_sum{endpoint=%q} %g\n", name, float64(h.sumNanos.Load())/1e9)
+		emit("stored_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+	}
+
+	gauge := func(name, help string, v int64) {
+		emit("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		emit("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("stored_entries", "Result entries in the durable tier.", int64(s.st.Len()))
+	gauge("stored_blob_entries", "Trace blobs in the blob tier.", int64(s.st.BlobLen()))
+	gauge("stored_ring_epoch", "Installed placement ring epoch (0 when ring-less).", int64(s.epoch()))
+	counter("stored_conflicts_total", "Overwrites that changed a key's bytes (version skew or a writer bug).", s.conflicts.Load())
+
+	st := s.st.Stats()
+	counter("stored_store_hits_total", "Store reads served without re-execution.", st.Hits)
+	counter("stored_store_misses_total", "Store reads that cost the caller an execution.", st.Misses)
+	counter("stored_store_puts_total", "Values written to the store.", st.Puts)
+	counter("stored_store_superseded_total", "Dead duplicate log lines (compact reclaims them).", st.Superseded)
+	counter("stored_store_corrupt_total", "Entries that existed but could not be decoded.", st.Corrupt)
+	counter("stored_store_put_errors_total", "Durable writes that failed (degraded to memory-only).", st.PutErrors)
+	counter("stored_store_degraded_total", "Partial write placements across tiers or replicas.", st.Degraded)
+	counter("stored_blob_stored_total", "Trace blobs captured into the blob tier.", st.BlobStored)
+	counter("stored_blob_fetched_total", "Trace blobs served from the blob tier.", st.BlobFetched)
+	counter("stored_blob_bytes_total", "Raw trace payload bytes moved through the blob tier.", st.BlobBytes)
+}

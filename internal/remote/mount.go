@@ -23,6 +23,13 @@ import (
 //	                  remote round trip per key ever
 //	neither         → no store (st is nil), plain uncached execution
 //
+// The blob tier (captured execution traces, store.BlobBackend) mirrors the
+// result tiers shape for shape: a cache directory serves blobs from its
+// blobs/ sublog, a fleet serves them through the same client(s) and
+// placement ring as results, and cacheDir+URLs stacks a store.TieredBlobs
+// so a trace fetched from the fleet is written back beside the local
+// results.
+//
 // Placement comes from the fleet itself when it has one: the mount asks
 // every listed replica for its installed ring (/v1/ring) and routes by the
 // newest epoch found, dialing any ring member the flag list omitted — so
@@ -51,6 +58,7 @@ func Mount(cacheDir, storeURL string) (st *store.Store, cls []*Client, err error
 // single-replica mounts.
 func MountFleet(cacheDir, storeURL string) (st *store.Store, cls []*Client, ring *store.Ring, err error) {
 	var be store.Backend
+	var blobs store.BlobBackend
 	if urls := splitList(storeURL); storeURL != "" && len(urls) == 0 {
 		// "," or whitespace: the caller asked for a fleet store and named no
 		// member (an unset env var in `-store "$A,$B"`); silently mounting
@@ -97,18 +105,20 @@ func MountFleet(cacheDir, storeURL string) (st *store.Store, cls []*Client, ring
 			for i, cl := range cls {
 				replicas[i] = cl
 			}
-			be = store.NewRingRouter(ring, replicas...)
+			rtr := store.NewRingRouter(ring, replicas...)
+			be, blobs = rtr, rtr
 		} else {
 			cls = flagClients
 			if len(cls) == 1 {
-				be = cls[0]
+				be, blobs = cls[0], cls[0]
 			} else {
 				ring = store.FlagRing(urls...)
 				replicas := make([]store.Backend, len(cls))
 				for i, cl := range cls {
 					replicas[i] = cl
 				}
-				be = store.NewRingRouter(ring, replicas...)
+				rtr := store.NewRingRouter(ring, replicas...)
+				be, blobs = rtr, rtr
 			}
 		}
 	}
@@ -116,6 +126,16 @@ func MountFleet(cacheDir, storeURL string) (st *store.Store, cls []*Client, ring
 		local, err := store.OpenNDJSON(cacheDir)
 		if err != nil {
 			return nil, nil, nil, err
+		}
+		fb, err := store.OpenFileBlobs(cacheDir)
+		if err != nil {
+			local.Close() //repro:degrade error-path teardown; the open failure below is the one to surface
+			return nil, nil, nil, err
+		}
+		if blobs != nil {
+			blobs = &store.TieredBlobs{Near: fb, Far: blobs}
+		} else {
+			blobs = fb
 		}
 		if be != nil {
 			be = store.NewTiered(local, be)
@@ -126,7 +146,9 @@ func MountFleet(cacheDir, storeURL string) (st *store.Store, cls []*Client, ring
 	if be == nil {
 		return nil, nil, nil, nil
 	}
-	return store.New(0, be), cls, ring, nil
+	st = store.New(0, be)
+	st.SetBlobs(blobs)
+	return st, cls, ring, nil
 }
 
 // ringClients maps an authoritative ring onto clients, one per member in

@@ -18,6 +18,19 @@
 //	GET  /v1/ring        → 200 store.Ring JSON | 404 (no ring installed)
 //	POST /v1/ring        ← store.Ring JSON                 → 200 {"epoch":e} | 409 (stale epoch)
 //	POST /v1/drain       → 200 DrainReply
+//	GET  /v1/blob/get?k=KEY → 200 binary-framed record | 404 | 501 (no blob tier)
+//	POST /v1/blob/put    ← binary-framed record            → 204 | 501 (no blob tier)
+//	GET  /v1/blob/has?k=KEY → 204 | 404
+//	GET  /v1/metrics     → 200 Prometheus text exposition
+//
+// Blob bodies (/v1/blob/get, /v1/blob/put) carry one opaque trace payload
+// in the same binary record framing the batch endpoints negotiate (see
+// binary.go: magic + uvarint-prefixed key and value), gzipped through the
+// shared pools in both directions — the payload's key rides inside the
+// frame, so a reply or an upload is self-describing and the server can
+// refuse a key mismatch. /v1/metrics is the scrape surface: every request
+// counter, per-endpoint latency histograms, store and blob-tier gauges,
+// rendered in the Prometheus text exposition format with no dependency.
 //
 // Placement travels with the traffic: every response carries the server's
 // installed ring epoch in the X-Result-Store-Epoch header (0 when no ring
@@ -112,12 +125,15 @@ type CompactReply struct {
 
 // StoreStats is the server store's traffic counters in the stats reply.
 type StoreStats struct {
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	Puts       int64 `json:"puts"`
-	Superseded int64 `json:"superseded"`
-	Corrupt    int64 `json:"corrupt"`
-	PutErrors  int64 `json:"putErrors"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	Superseded  int64 `json:"superseded"`
+	Corrupt     int64 `json:"corrupt"`
+	PutErrors   int64 `json:"putErrors"`
+	BlobStored  int64 `json:"blobStored,omitempty"`
+	BlobFetched int64 `json:"blobFetched,omitempty"`
+	BlobBytes   int64 `json:"blobBytes,omitempty"`
 }
 
 // RequestStats counts requests served per endpoint.
@@ -131,12 +147,17 @@ type RequestStats struct {
 	Compact int64 `json:"compact"`
 	Ring    int64 `json:"ring"`
 	Drain   int64 `json:"drain"`
+	BlobGet int64 `json:"blobGet"`
+	BlobPut int64 `json:"blobPut"`
+	BlobHas int64 `json:"blobHas"`
+	Metrics int64 `json:"metrics"`
 }
 
 // StatsReply answers /v1/stats.
 type StatsReply struct {
 	Protocol  string       `json:"protocol"`
 	Len       int          `json:"len"`
+	Blobs     int          `json:"blobs"`
 	Epoch     uint64       `json:"epoch"`
 	Conflicts int64        `json:"conflicts"`
 	Requests  RequestStats `json:"requests"`

@@ -30,7 +30,12 @@ type Server struct {
 	conflicts atomic.Int64
 	req       struct {
 		get, has, put, mget, mhas, mput, compact, ring, drain atomic.Int64
+		blobGet, blobPut, blobHas, metrics                    atomic.Int64
 	}
+
+	// lat holds one latency histogram per metric endpoint (see metrics.go),
+	// observed around every dispatch.
+	lat [numMetricEndpoints]latencyHistogram
 
 	ringMu sync.RWMutex
 	// ring is nil until a ring is installed (flag or /v1/ring).
@@ -57,16 +62,23 @@ func NewServer(st *store.Store) *Server {
 	s.mux.HandleFunc("GET /v1/ring", s.handleRingGet)
 	s.mux.HandleFunc("POST /v1/ring", s.handleRingPost)
 	s.mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	s.mux.HandleFunc("GET /v1/blob/get", s.handleBlobGet)
+	s.mux.HandleFunc("POST /v1/blob/put", s.handleBlobPut)
+	s.mux.HandleFunc("GET /v1/blob/has", s.handleBlobHas)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
 }
 
 // ServeHTTP implements http.Handler, stamping every response with the
 // protocol version and the installed ring epoch before dispatch — a
-// stale client learns about a resize from its very next reply.
+// stale client learns about a resize from its very next reply — and
+// timing the dispatch into the endpoint's latency histogram.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := nowMetrics() //repro:wallclock request latency feeds the metrics surface only, never canonical output
 	w.Header().Set(VersionHeader, ProtocolVersion)
 	w.Header().Set(EpochHeader, strconv.FormatUint(s.epoch(), 10))
 	s.mux.ServeHTTP(w, r)
+	s.lat[metricEndpointIndex(r.URL.Path)].observe(nowMetrics().Sub(start))
 }
 
 // SetSelf names this replica: the ring member identity the server drains
@@ -160,6 +172,10 @@ func (s *Server) Requests() RequestStats {
 		Compact: s.req.compact.Load(),
 		Ring:    s.req.ring.Load(),
 		Drain:   s.req.drain.Load(),
+		BlobGet: s.req.blobGet.Load(),
+		BlobPut: s.req.blobPut.Load(),
+		BlobHas: s.req.blobHas.Load(),
+		Metrics: s.req.metrics.Load(),
 	}
 }
 
@@ -483,12 +499,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	reply(w, http.StatusOK, StatsReply{
 		Protocol:  ProtocolVersion,
 		Len:       s.st.Len(),
+		Blobs:     s.st.BlobLen(),
 		Epoch:     s.epoch(),
 		Conflicts: s.conflicts.Load(),
 		Requests:  s.Requests(),
 		Store: StoreStats{
 			Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
 			Superseded: st.Superseded, Corrupt: st.Corrupt, PutErrors: st.PutErrors,
+			BlobStored: st.BlobStored, BlobFetched: st.BlobFetched, BlobBytes: st.BlobBytes,
 		},
 	})
 }

@@ -3,7 +3,9 @@ package runner
 import (
 	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/model"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // CacheVersion is the code-version salt folded into every store key in the
@@ -40,9 +42,10 @@ const CacheVersion = "fanl06-sim-v3"
 // identical entries for them, so merging stays consistent.
 type CachedEngine struct {
 	*Engine
-	cache *store.Store
-	shard *store.Ring // nil = normal mode; non-nil = prime-only pass owning one member
-	self  int         // this pass's member index in shard
+	cache   *store.Store
+	shard   *store.Ring // nil = normal mode; non-nil = prime-only pass owning one member
+	self    int         // this pass's member index in shard
+	capture bool        // persist executed step logs into the store's blob tier
 }
 
 // NewCached wraps an engine with a result store; st may be nil for a plain
@@ -78,6 +81,69 @@ func (c *CachedEngine) WithShardRing(ring *store.Ring, self int) *CachedEngine {
 
 // Cache returns the attached store (nil when uncached).
 func (c *CachedEngine) Cache() *store.Store { return c.cache }
+
+// WithCapture returns a copy of the engine that persists every executed
+// unit's step log — the full model.Execution plus the machine's per-step
+// changed flags, encoded by internal/trace — into the store's blob tier
+// under the unit's own cache key. Cached hits capture nothing (their trace
+// was captured when they were executed, or never will be); encoding runs
+// on the worker after its simulation completes, never inside the stepping
+// hot path. Without a store capture has nothing to write to, so the engine
+// is returned unchanged.
+func (c *CachedEngine) WithCapture(on bool) *CachedEngine {
+	if c.cache == nil || c.capture == on {
+		return c
+	}
+	cp := *c
+	cp.capture = on
+	return &cp
+}
+
+// Capturing reports whether executed step logs are being persisted.
+func (c *CachedEngine) Capturing() bool { return c != nil && c.capture }
+
+// captureTrace encodes one executed unit's step log and stores it under
+// the unit's cache key. Runs on the executing worker, strictly after the
+// simulation finished — the hot loop never sees it. Failures follow the
+// store discipline: an unencodable or unstorable trace costs a future
+// replay one re-simulation, never the run an error.
+func (c *CachedEngine) captureTrace(k, algo string, n, horizon int, exec model.Execution, changed []bool) {
+	if k == "" || len(exec) == 0 {
+		return
+	}
+	blob, err := trace.EncodeRecord(trace.Record{Algo: algo, N: n, Horizon: horizon, Exec: exec, Changed: changed})
+	if err != nil {
+		return //repro:degrade an unencodable trace is dropped; the result itself is unaffected
+	}
+	c.cache.BlobPut(k, blob)
+}
+
+// executeJob runs one job, capturing its step log when capture is on.
+func (c *CachedEngine) executeJob(k string, j Job) Result {
+	if !c.capture {
+		return Execute(j)
+	}
+	r, exec, changed := ExecuteTraced(j)
+	if r.Err == nil {
+		c.captureTrace(k, j.Algo, j.N, j.Horizon, exec, changed)
+	}
+	return r
+}
+
+// executeSchedule runs one candidate, capturing its step log when capture
+// is on. Discarded candidates (truncated, stalled) capture too: their
+// executions replay like any other, and a search post-mortem needs exactly
+// the candidates that went wrong.
+func (c *CachedEngine) executeSchedule(k string, j ScheduleJob) ScheduleResult {
+	if !c.capture {
+		return ExecuteSchedule(j)
+	}
+	r, exec, changed := ExecuteScheduleTraced(j)
+	if r.Err == nil {
+		c.captureTrace(k, j.Algo, j.N, j.Horizon, exec, changed)
+	}
+	return r
+}
 
 // Priming reports whether the engine is a prime-only shard pass, in which
 // statically enumerable fan-outs skip folds and validation layered on fold
@@ -270,7 +336,7 @@ func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
 			if k == "" || !c.inShard(k) || c.stored(present, k) {
 				return nil
 			}
-			r := Execute(jobs[i])
+			r := c.executeJob(k, jobs[i])
 			if r.Err != nil {
 				return r.Err
 			}
@@ -284,7 +350,7 @@ func (c *CachedEngine) Run(jobs []Job, fold func(Result) error) error {
 		if p, ok := store.GetJSON[jobPayload](c.cache, k); ok {
 			return Result{Index: i, Job: jobs[i], Report: p.Report}, nil
 		}
-		r := Execute(jobs[i])
+		r := c.executeJob(k, jobs[i])
 		r.Index = i
 		if r.Err == nil {
 			store.PutJSON(sink, k, jobPayload{Report: r.Report})
@@ -347,7 +413,7 @@ func (c *CachedEngine) RunSchedules(jobs []ScheduleJob, fold func(ScheduleResult
 				Report: p.Report, Canonical: p.Canonical, Decisions: p.Decisions,
 			}, nil
 		}
-		r := ExecuteSchedule(jobs[i])
+		r := c.executeSchedule(k, jobs[i])
 		r.Index = i
 		if r.Err == nil {
 			store.PutJSON(sink, k, schedulePayload{Report: r.Report, Canonical: r.Canonical, Decisions: r.Decisions})

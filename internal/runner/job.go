@@ -3,6 +3,7 @@ package runner
 import (
 	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/model"
 	"repro/internal/mutex"
 	"repro/internal/program"
 	"repro/internal/rmw"
@@ -69,24 +70,37 @@ func NewFactory(name string, n int) (program.Factory, error) {
 // unwrapped — the Result already carries the job's coordinates, and folds
 // add their own context.
 func Execute(j Job) Result {
+	res, _, _ := ExecuteTraced(j)
+	return res
+}
+
+// ExecuteTraced is Execute plus the raw material trace capture persists:
+// the execution's step log and the machine's per-step changed flags. Both
+// already exist when the run finishes (the System retains them), so the
+// traced form costs nothing over Execute — callers that drop them get the
+// exact old behaviour. On error the trace and flags are nil: a failed job
+// has no execution worth replaying.
+func ExecuteTraced(j Job) (Result, model.Execution, []bool) {
 	res := Result{Job: j}
 	f, err := NewFactory(j.Algo, j.N)
 	if err != nil {
 		res.Err = err
-		return res
+		return res, nil, nil
 	}
 	sched, err := j.Sched.New()
 	if err != nil {
 		res.Err = err
-		return res
+		return res, nil, nil
 	}
-	exec, err := machine.RunCanonical(f, sched, j.Horizon)
+	exec, changed, err := machine.RunCanonicalChanged(f, sched, j.Horizon)
 	if err != nil {
 		res.Err = err
-		return res
+		return res, nil, nil
 	}
-	res.Report, res.Err = cost.Measure(f, exec)
-	return res
+	if res.Report, res.Err = cost.Measure(f, exec); res.Err != nil {
+		return res, nil, nil
+	}
+	return res, exec, changed
 }
 
 // Run executes the jobs on the engine's worker pool and calls fold with

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/model"
 )
 
 // ScheduleJob is the schedule-search unit of work: one run of a named
@@ -58,16 +59,26 @@ type ScheduleResult struct {
 // non-canonical and the truncated execution is still measured, so a fold
 // can report on it without ever ranking it against complete executions.
 func ExecuteSchedule(j ScheduleJob) ScheduleResult {
+	res, _, _ := ExecuteScheduleTraced(j)
+	return res
+}
+
+// ExecuteScheduleTraced is ExecuteSchedule plus the step log and per-step
+// changed flags, for trace capture. A hard failure (Err set) returns nil
+// trace and flags; a discarded candidate (non-canonical, zero report)
+// still returns whatever execution it produced — a truncated run replays
+// like any other.
+func ExecuteScheduleTraced(j ScheduleJob) (ScheduleResult, model.Execution, []bool) {
 	res := ScheduleResult{Job: j}
 	f, err := NewFactory(j.Algo, j.N)
 	if err != nil {
 		res.Err = err
-		return res
+		return res, nil, nil
 	}
 	sched, err := j.Sched.New()
 	if err != nil {
 		res.Err = err
-		return res
+		return res, nil, nil
 	}
 	horizon := j.Horizon
 	if horizon <= 0 {
@@ -80,7 +91,7 @@ func ExecuteSchedule(j ScheduleJob) ScheduleResult {
 		var st machine.ErrStalled
 		if !errors.As(runErr, &h) && !errors.As(runErr, &st) {
 			res.Err = runErr
-			return res
+			return res, nil, nil
 		}
 	} else {
 		canonical := s.AllHalted()
@@ -105,17 +116,17 @@ func ExecuteSchedule(j ScheduleJob) ScheduleResult {
 		if res.Canonical {
 			// A canonical execution the cost model rejects is a defect.
 			res.Err = err
-			return res
+			return res, nil, nil
 		}
 		// A truncated or otherwise non-canonical trace the cost model
 		// rejects is a discard, not a defect: the candidate was already
 		// unscorable, and one bad candidate must never abort a whole search
 		// batch. Report stays zero and Canonical stays false, so folds
 		// discard it exactly like any other incomplete run.
-		return res
+		return res, exec, s.Changed()
 	}
 	res.Report = rep
-	return res
+	return res, exec, s.Changed()
 }
 
 // RunSchedules executes the candidate jobs on the engine's worker pool and

@@ -1,0 +1,263 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// blobMapBackend extends mapBackend with an in-memory blob surface, with
+// the same injectable failure modes.
+type blobMapBackend struct {
+	*mapBackend
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+func newBlobMapBackend() *blobMapBackend {
+	return &blobMapBackend{mapBackend: newMapBackend(), blobs: make(map[string][]byte)}
+}
+
+func (b *blobMapBackend) BlobGet(key string) ([]byte, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mapBackend.down {
+		return nil, false, errors.New("backend down")
+	}
+	v, ok := b.blobs[key]
+	return v, ok, nil
+}
+
+func (b *blobMapBackend) BlobPut(key string, val []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mapBackend.down || b.mapBackend.failPuts {
+		return errors.New("backend down")
+	}
+	b.blobs[key] = val
+	return nil
+}
+
+func (b *blobMapBackend) BlobHas(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mapBackend.down {
+		return false
+	}
+	_, ok := b.blobs[key]
+	return ok
+}
+
+func (b *blobMapBackend) BlobLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.blobs)
+}
+
+func TestFileBlobsRoundTripAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	fb, err := store.OpenFileBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("execution trace bytes \x00\x01\x02"), 100)
+	if err := fb.BlobPut("k1", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.BlobPut("k0", []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fb.BlobGet("k1")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("BlobGet: ok=%v err=%v equal=%v", ok, err, bytes.Equal(got, payload))
+	}
+	if !fb.BlobHas("k0") || fb.BlobHas("absent") {
+		t.Fatal("BlobHas wrong")
+	}
+	if keys := fb.BlobKeys(); !sort.StringsAreSorted(keys) || len(keys) != 2 {
+		t.Fatalf("BlobKeys = %v, want 2 sorted keys", keys)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: blobs are durable and byte-identical.
+	fb2, err := store.OpenFileBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb2.Close()
+	got, ok, err = fb2.BlobGet("k1")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("after reopen: ok=%v err=%v equal=%v", ok, err, bytes.Equal(got, payload))
+	}
+	if fb2.BlobLen() != 2 {
+		t.Fatalf("BlobLen = %d, want 2", fb2.BlobLen())
+	}
+
+	// The blob log lives beside the result log, not inside it.
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 0 {
+		t.Fatalf("result store sees %d entries from the blob log", st.Len())
+	}
+	if fi, err := filepath.Glob(filepath.Join(dir, "blobs", "*.ndjson")); err != nil || len(fi) != 1 {
+		t.Fatalf("blob log not at blobs/: %v %v", fi, err)
+	}
+}
+
+func TestTieredBlobsWriteBack(t *testing.T) {
+	near, err := store.OpenFileBlobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := newBlobMapBackend()
+	tb := &store.TieredBlobs{Near: near, Far: far}
+	defer tb.Close()
+
+	// A far-only blob is served and written back near.
+	if err := far.BlobPut("k", []byte("fleet blob")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tb.BlobGet("k")
+	if err != nil || !ok || string(v) != "fleet blob" {
+		t.Fatalf("tiered get: %q ok=%v err=%v", v, ok, err)
+	}
+	if !near.BlobHas("k") {
+		t.Fatal("far hit not written back to the near tier")
+	}
+
+	// A put lands in both tiers.
+	if err := tb.BlobPut("k2", []byte("both")); err != nil {
+		t.Fatal(err)
+	}
+	if !near.BlobHas("k2") || !far.BlobHas("k2") {
+		t.Fatal("put did not land in both tiers")
+	}
+	if n := tb.BlobLen(); n != 2 {
+		t.Fatalf("BlobLen = %d, want 2", n)
+	}
+	if keys := tb.BlobKeys(); len(keys) != 2 {
+		t.Fatalf("BlobKeys = %v", keys)
+	}
+}
+
+func TestStoreBlobCountersAndStatsLine(t *testing.T) {
+	st := store.NewMemory(16)
+	// Without a blob tier every surface is a silent no-op.
+	st.BlobPut("k", []byte("x"))
+	if _, ok := st.BlobGet("k"); ok || st.BlobHas("k") || st.BlobLen() != 0 || st.BlobKeys() != nil {
+		t.Fatal("blob surface active without a tier")
+	}
+
+	fb, err := store.OpenFileBlobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetBlobs(fb)
+	defer st.Close()
+	payload := []byte("trace payload")
+	st.BlobPut("k", payload)
+	if v, ok := st.BlobGet("k"); !ok || !bytes.Equal(v, payload) {
+		t.Fatal("blob round trip through Store failed")
+	}
+	s := st.Stats()
+	if s.BlobStored != 1 || s.BlobFetched != 1 {
+		t.Fatalf("blob counters: %+v", s)
+	}
+	if want := int64(2 * len(payload)); s.BlobBytes != want {
+		t.Fatalf("BlobBytes = %d, want %d", s.BlobBytes, want)
+	}
+	line := s.String()
+	for _, want := range []string{"blobStored=1", "blobFetched=1", fmt.Sprintf("blobBytes=%d", 2*len(payload))} {
+		if !strings.Contains(line, want) {
+			t.Errorf("stats line %q missing %q", line, want)
+		}
+	}
+	// The CI patterns anchor on the historical prefix: it must survive.
+	if !strings.Contains(line, "misses=0 stored=0 ") {
+		t.Errorf("stats line %q broke the anchored prefix", line)
+	}
+
+	// A failed blob put is a counted put error, not a panic or a result.
+	bad := newBlobMapBackend()
+	bad.mapBackend.failPuts = true
+	st2 := store.NewMemory(16)
+	st2.SetBlobs(bad)
+	st2.BlobPut("k", payload)
+	if s := st2.Stats(); s.PutErrors != 1 || s.BlobStored != 0 {
+		t.Fatalf("failed blob put: %+v", s)
+	}
+}
+
+func TestRouterBlobPlacementAndFailover(t *testing.T) {
+	a, b := newBlobMapBackend(), newBlobMapBackend()
+	r := store.NewRouter(a, b)
+	var _ store.BlobBackend = r
+
+	// Realistic keys: content addresses, like every key the engine routes.
+	keys := make([]string, 0, 32)
+	for i := 0; i < 32; i++ {
+		keys = append(keys, store.Key("blob-test", i))
+	}
+	for _, k := range keys {
+		if err := r.BlobPut(k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Placement: each blob lives on exactly the ring owner.
+	if a.BlobLen()+b.BlobLen() != len(keys) || r.BlobLen() != len(keys) {
+		t.Fatalf("placement: a=%d b=%d router=%d", a.BlobLen(), b.BlobLen(), r.BlobLen())
+	}
+	if a.BlobLen() == 0 || b.BlobLen() == 0 {
+		t.Fatalf("degenerate split: a=%d b=%d", a.BlobLen(), b.BlobLen())
+	}
+	for _, k := range keys {
+		v, ok, err := r.BlobGet(k)
+		if err != nil || !ok || string(v) != "v-"+k {
+			t.Fatalf("routed get %s: ok=%v err=%v", k, ok, err)
+		}
+		if !r.BlobHas(k) {
+			t.Fatalf("routed has %s: false", k)
+		}
+	}
+
+	// Failover: replicate everything onto both, kill a, reads still serve
+	// from the runner-up.
+	for _, k := range keys {
+		if err := a.BlobPut(k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.BlobPut(k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.mapBackend.down = true
+	for _, k := range keys {
+		v, ok, err := r.BlobGet(k)
+		if err != nil || !ok || string(v) != "v-"+k {
+			t.Fatalf("failover get %s: ok=%v err=%v", k, ok, err)
+		}
+	}
+
+	// A down owner's write is a counted loss surfaced as an error.
+	lost := 0
+	for _, k := range keys {
+		if err := r.BlobPut(k, []byte("x")); err != nil {
+			lost++
+		}
+	}
+	if lost == 0 || r.Degraded() < int64(lost) {
+		t.Fatalf("down-owner writes: lost=%d degraded=%d", lost, r.Degraded())
+	}
+}

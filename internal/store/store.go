@@ -28,7 +28,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"sync"
@@ -84,13 +86,17 @@ type Backend interface {
 // as misses.
 type Stats struct {
 	Hits, Misses, Puts, Corrupt, PutErrors, Superseded, Degraded int64
+	// Blob tier traffic (zero without one): payloads stored and fetched,
+	// and raw payload bytes moved in both directions.
+	BlobStored, BlobFetched, BlobBytes int64
 }
 
 // String renders the stats on one line (the form the CLIs print to stderr
-// and CI greps: a warm run must report misses=0).
+// and CI greps: a warm run must report misses=0). New fields append at the
+// end — CI patterns anchor on the existing prefix.
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d stored=%d superseded=%d corrupt=%d putErrors=%d degraded=%d",
-		s.Hits, s.Misses, s.Puts, s.Superseded, s.Corrupt, s.PutErrors, s.Degraded)
+	return fmt.Sprintf("hits=%d misses=%d stored=%d superseded=%d corrupt=%d putErrors=%d degraded=%d blobStored=%d blobFetched=%d blobBytes=%d",
+		s.Hits, s.Misses, s.Puts, s.Superseded, s.Corrupt, s.PutErrors, s.Degraded, s.BlobStored, s.BlobFetched, s.BlobBytes)
 }
 
 // Entry is one key/value pair of a batch operation.
@@ -193,7 +199,12 @@ type Store struct {
 	lru *lruCache
 	be  Backend // nil for a memory-only store
 
+	// blobs is the optional trace-payload tier (see blob.go); set once at
+	// mount, before concurrent use.
+	blobs BlobBackend
+
 	hits, misses, puts, corrupt, putErrors, superseded atomic.Int64
+	blobStored, blobFetched, blobBytes                 atomic.Int64
 }
 
 // DefaultLRUEntries is the LRU tier's capacity when the caller passes 0.
@@ -512,12 +523,15 @@ func (s *Store) Stats() Stats {
 		return Stats{}
 	}
 	st := Stats{
-		Hits:       s.hits.Load(),
-		Misses:     s.misses.Load(),
-		Puts:       s.puts.Load(),
-		Corrupt:    s.corrupt.Load(),
-		PutErrors:  s.putErrors.Load(),
-		Superseded: s.superseded.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Corrupt:     s.corrupt.Load(),
+		PutErrors:   s.putErrors.Load(),
+		Superseded:  s.superseded.Load(),
+		BlobStored:  s.blobStored.Load(),
+		BlobFetched: s.blobFetched.Load(),
+		BlobBytes:   s.blobBytes.Load(),
 	}
 	if sp, ok := s.be.(superseder); ok {
 		st.Superseded += sp.Superseded()
@@ -528,12 +542,20 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close closes the backend, if any.
+// Close closes the backend and the blob tier, if any. A blob tier that is
+// the backend itself (a remote client serving both surfaces) closes once.
 func (s *Store) Close() error {
-	if s == nil || s.be == nil {
+	if s == nil {
 		return nil
 	}
-	return s.be.Close()
+	var berr, blerr error
+	if s.be != nil {
+		berr = s.be.Close()
+	}
+	if c, ok := s.blobs.(io.Closer); ok && any(s.blobs) != any(s.be) {
+		blerr = c.Close()
+	}
+	return errors.Join(berr, blerr)
 }
 
 // openMergeSrc opens one merge source directory; a variable so tests can

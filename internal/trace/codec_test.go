@@ -1,0 +1,166 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/mutex"
+	"repro/internal/trace"
+)
+
+// liveRecord runs name/n under round-robin and captures the full record
+// the way the engine's capture path does: Trace() + Changed() off a System.
+func liveRecord(t *testing.T, name string, n int) (*mutex.Factory, trace.Record) {
+	t.Helper()
+	f, err := mutex.New(name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := machine.NewSystem(f)
+	exec, err := machine.Run(s, machine.NewRoundRobin(), machine.DefaultHorizon(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, trace.Record{Algo: name, N: n, Exec: exec, Changed: s.Changed()}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	_, rec := liveRecord(t, mutex.NameYangAnderson, 3)
+	blob, err := trace.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeRecord(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+	// Deterministic: encoding the decoded record reproduces the bytes.
+	blob2, err := trace.EncodeRecord(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoding a decoded record changed the bytes")
+	}
+}
+
+func TestRecordRoundTripAllKinds(t *testing.T) {
+	// Synthetic record touching every step kind, crit kind, RMW kind, and
+	// negative operands (zigzag path). Codec-only: no replay semantics.
+	rec := trace.Record{
+		Algo:    "synthetic",
+		N:       4,
+		Horizon: 123,
+		Exec: model.Execution{
+			{Proc: 0, Kind: model.KindRead, Reg: 7, Val: -5},
+			{Proc: 1, Kind: model.KindWrite, Reg: 0, Val: 1 << 40},
+			{Proc: 2, Kind: model.KindRMW, Reg: 3, Val: -1, RMW: model.RMWCompareAndSwap, Arg1: -7, Arg2: 9},
+			{Proc: 3, Kind: model.KindCrit, Crit: model.CritEnter},
+			{Proc: 3, Kind: model.KindCrit, Crit: model.CritExit},
+		},
+		Changed: []bool{true, false, true, true, false},
+	}
+	blob, err := trace.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeRecord(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestEncodeRejectsMalformed(t *testing.T) {
+	ok := trace.Record{Algo: "x", N: 1, Exec: model.Execution{{Proc: 0, Kind: model.KindCrit, Crit: model.CritTry}}, Changed: []bool{true}}
+	if _, err := trace.EncodeRecord(ok); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	cases := map[string]trace.Record{
+		"misaligned changed": {Algo: "x", N: 1, Exec: ok.Exec, Changed: nil},
+		"bad n":              {Algo: "x", N: 0, Exec: nil, Changed: nil},
+		"proc out of range":  {Algo: "x", N: 1, Exec: model.Execution{{Proc: 1, Kind: model.KindCrit}}, Changed: []bool{false}},
+	}
+	for name, rec := range cases {
+		if _, err := trace.EncodeRecord(rec); err == nil {
+			t.Errorf("%s: encode accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	_, rec := liveRecord(t, mutex.NameBakery, 2)
+	blob, err := trace.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix is truncated; every suffix addition is trailing
+	// garbage; a flipped magic is a foreign blob.
+	for _, cut := range []int{0, 1, 3, 4, 10, len(blob) / 2, len(blob) - 1} {
+		if _, err := trace.DecodeRecord(blob[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := trace.DecodeRecord(append(bytes.Clone(blob), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	bad := bytes.Clone(blob)
+	bad[0] ^= 0xff
+	if _, err := trace.DecodeRecord(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestVerifyRecord(t *testing.T) {
+	f, rec := liveRecord(t, mutex.NameYangAnderson, 3)
+	sc, err := trace.VerifyRecord(f, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc <= 0 {
+		t.Fatalf("verified replay charged %d shared steps, want > 0", sc)
+	}
+
+	// A tampered read result must be refused: replay fills the true value.
+	tampered := rec
+	tampered.Exec = append(model.Execution(nil), rec.Exec...)
+	for i, s := range tampered.Exec {
+		if s.Kind == model.KindRead {
+			tampered.Exec[i].Val = s.Val + 99
+			break
+		}
+	}
+	if _, err := trace.VerifyRecord(f, tampered); err == nil {
+		t.Error("tampered read value verified")
+	}
+
+	// A flipped charge flag on a shared step must be refused.
+	flipped := rec
+	flipped.Changed = append([]bool(nil), rec.Changed...)
+	for i, s := range flipped.Exec {
+		if s.IsShared() {
+			flipped.Changed[i] = !flipped.Changed[i]
+			break
+		}
+	}
+	if _, err := trace.VerifyRecord(f, flipped); err == nil {
+		t.Error("flipped changed flag verified")
+	}
+
+	// A wrong-size factory must be refused before replay starts.
+	f2, err := mutex.New(mutex.NameYangAnderson, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.VerifyRecord(f2, rec); err == nil {
+		t.Error("mismatched process count verified")
+	}
+}
