@@ -69,9 +69,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/prof"
-	"repro/internal/remote"
 	"repro/internal/runner"
+	"repro/internal/session"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -100,30 +99,24 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr) // diagnostics and usage must not corrupt the data stream on w
 	var (
-		quick    = fs.Bool("quick", false, "reduced sweep sizes")
-		only     = fs.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E5); empty runs all")
-		seed     = fs.Int64("seed", 20060723, "seed for sampled permutations and schedules")
-		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
-		asJSON   = fs.Bool("json", false, "emit each table as a JSON object instead of aligned text")
-		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
-		storeURL = fs.String("store", "", "remote result-store URL(s), comma-separated (stored services, e.g. http://127.0.0.1:9200 or URL1,URL2 for a hash-routed fleet tier); with -cache, the directory becomes a local near tier")
-		shardArg = fs.String("shard", "", "i/m: prime only shard i of m's keys into the store and print no tables")
-		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
-		capture  = fs.Bool("capture", false, "persist every executed unit's step trace into the store's blob tier (requires -cache or -store)")
-		replay   = fs.String("replay", "", "KEY: re-materialize the captured execution stored under KEY (timeline + summary, zero re-simulation) and exit")
+		quick  = fs.Bool("quick", false, "reduced sweep sizes")
+		only   = fs.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E5); empty runs all")
+		seed   = fs.Int64("seed", 20060723, "seed for sampled permutations and schedules")
+		asJSON = fs.Bool("json", false, "emit each table as a JSON object instead of aligned text")
+		replay = fs.String("replay", "", "KEY: re-materialize the captured execution stored under KEY (timeline + summary, zero re-simulation) and exit")
 	)
-	profFlags := prof.Register(fs)
+	sf := session.FlagConfig(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
-	stopProf, err := profFlags.Start(os.Stderr)
+	s, err := session.Open(sf.Config("experiments"))
 	if err != nil {
 		return err
 	}
-	defer stopProf()
+	defer s.Close()
 
 	// -only must fail loudly on typos: an unknown or duplicate ID means the
 	// invocation is not measuring what its author thinks it is.
@@ -149,29 +142,16 @@ func run(args []string, w io.Writer) error {
 		selected[id] = true
 	}
 
-	cli, err := remote.MountFlags(os.Stderr, "experiments", *cacheDir, *storeURL, *shardArg, *mergeArg)
-	if err != nil {
-		return err
-	}
-	defer cli.Close()
-	if (*capture || *replay != "") && cli.Store == nil {
-		return fmt.Errorf("-capture and -replay need somewhere to keep traces: pass -cache or -store")
-	}
 	if *replay != "" {
-		if err := replayKey(w, cli.Store, *replay); err != nil {
-			return err
+		if s.Store() == nil {
+			return fmt.Errorf("-replay requires -cache or -store")
 		}
-		cli.PrintStats(os.Stderr, "experiments")
-		return nil
+		return replayKey(w, s.Store(), *replay)
 	}
-	shardI, shardM := cli.ShardI, cli.ShardM
-	priming := cli.Priming()
+	shardI, shardM := s.Shard()
+	priming := s.Priming()
 
-	cfg := experiments.Config{
-		Quick: *quick, Seed: *seed, Workers: *parallel,
-		Cache: cli.Store, Shard: shardI, Shards: shardM,
-		Capture: *capture,
-	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Engine: s.Engine()}
 	enc := json.NewEncoder(w)
 	failures := 0
 	for _, e := range experiments.All() {
@@ -207,7 +187,6 @@ func run(args []string, w io.Writer) error {
 			failures++
 		}
 	}
-	cli.PrintStats(os.Stderr, "experiments")
 	if priming {
 		return nil
 	}

@@ -10,6 +10,14 @@
 //
 // With -all it sweeps every permutation of S_n (n ≤ 8) and checks the n!
 // injectivity of Theorem 7.5.
+//
+// It is built on the session core (internal/session), so the canonical
+// store and profiling flags work here too: with `-cache DIR` or
+// `-store URL` the proof's statistics (and the whole -all sweep's) are
+// memoized under their content address, so a warm re-run proves nothing
+// twice and prints byte-identical output; -cpuprofile/-memprofile/-trace
+// profile the pipeline. -v renders the encoding table and decoded
+// execution, which always runs the pipeline.
 package main
 
 import (
@@ -23,6 +31,9 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/runner"
+	"repro/internal/session"
+	"repro/internal/store"
 )
 
 func main() {
@@ -30,6 +41,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lowerbound:", err)
 		os.Exit(1)
 	}
+}
+
+// provePayload is the cached portion of one proof pipeline run — exactly
+// the pure values the report prints, so a warm run renders byte-identical
+// lines from the store without re-proving.
+type provePayload struct {
+	Metasteps  int   `json:"metasteps"`
+	Steps      int   `json:"steps"`
+	Iterations int   `json:"iterations"`
+	Cost       int   `json:"cost"`
+	Bits       int   `json:"bits"`
+	EntryOrder []int `json:"entryOrder"`
+}
+
+// bitsPerCost mirrors core.Pipeline.BitsPerCost for the cached values.
+func (p provePayload) bitsPerCost() float64 {
+	if p.Cost == 0 {
+		return 0
+	}
+	return float64(p.Bits) / float64(p.Cost)
 }
 
 func run(args []string, w io.Writer) error {
@@ -43,12 +74,18 @@ func run(args []string, w io.Writer) error {
 		all      = fs.Bool("all", false, "sweep all n! permutations and check injectivity")
 		verbose  = fs.Bool("v", false, "print the encoding table and the decoded execution")
 	)
+	sf := session.FlagConfig(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	s, err := session.Open(sf.Config("lowerbound"))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
 
 	f, err := repro.NewAlgorithm(*algoName, *n)
 	if err != nil {
@@ -56,7 +93,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *all {
-		stats, err := repro.ProveAll(f)
+		stats, err := sweepStats(s, f.Name(), *n, func() (repro.SweepStats, error) { return repro.ProveAll(f) })
 		if err != nil {
 			return err
 		}
@@ -74,23 +111,85 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	proof, err := repro.Prove(f, pi)
+	p, proof, err := provePayloadFor(s, f, pi, *verbose)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "algorithm   %s\n", f.Name())
-	fmt.Fprintf(w, "perm        %v\n", proof.Perm)
+	fmt.Fprintf(w, "perm        %v\n", pi)
 	fmt.Fprintf(w, "metasteps   %d (%d steps, %d construct iterations)\n",
-		proof.Result.Set.Len(), proof.Result.Set.TotalSteps(), proof.Result.Iterations)
-	fmt.Fprintf(w, "cost C      %d (SC model; every linearization, Lemma 6.1)\n", proof.Cost)
-	fmt.Fprintf(w, "|E_pi|      %d bits (%.2f bits/cost, Theorem 6.2)\n", proof.Encoding.BitLen, proof.BitsPerCost())
-	fmt.Fprintf(w, "entry order %v (= perm, Theorem 5.5)\n", proof.Decoded.EntryOrder())
+		p.Metasteps, p.Steps, p.Iterations)
+	fmt.Fprintf(w, "cost C      %d (SC model; every linearization, Lemma 6.1)\n", p.Cost)
+	fmt.Fprintf(w, "|E_pi|      %d bits (%.2f bits/cost, Theorem 6.2)\n", p.Bits, p.bitsPerCost())
+	fmt.Fprintf(w, "entry order %v (= perm, Theorem 5.5)\n", p.EntryOrder)
 	fmt.Fprintf(w, "verified    decode round-trip is a linearization (Theorem 7.4)\n")
 	if *verbose {
 		fmt.Fprintf(w, "\nencoding table:\n%s\n", proof.Encoding)
 		fmt.Fprintf(w, "\ndecoded execution (%d steps):\n%s\n", len(proof.Decoded), proof.Decoded)
 	}
 	return nil
+}
+
+// provePayloadFor resolves one proof's printable statistics: from the
+// session's store when it holds them, by running the pipeline otherwise
+// (writing back on success). -v always runs — its views need the full
+// proof, which the store deliberately does not carry.
+func provePayloadFor(s *session.Session, f repro.Algorithm, pi []int, verbose bool) (provePayload, *repro.Proof, error) {
+	key := ""
+	if st := s.Store(); st != nil {
+		key = store.Key(runner.CacheVersion, struct {
+			Op   string `json:"op"`
+			Algo string `json:"algo"`
+			N    int    `json:"n"`
+			Perm []int  `json:"perm"`
+		}{"prove", f.Name(), len(pi), pi})
+		if !verbose {
+			if p, ok := store.GetJSON[provePayload](st, key); ok {
+				return p, nil, nil
+			}
+		}
+	}
+	proof, err := repro.Prove(f, pi)
+	if err != nil {
+		return provePayload{}, nil, err
+	}
+	p := provePayload{
+		Metasteps:  proof.Result.Set.Len(),
+		Steps:      proof.Result.Set.TotalSteps(),
+		Iterations: proof.Result.Iterations,
+		Cost:       proof.Cost,
+		Bits:       proof.Encoding.BitLen,
+		EntryOrder: proof.Decoded.EntryOrder(),
+	}
+	if key != "" {
+		store.PutJSON(s.Store(), key, p)
+	}
+	return p, proof, nil
+}
+
+// sweepStats resolves one -all sweep's statistics through the store:
+// SweepStats is a pure value struct, so its JSON round-trips exactly and a
+// warm sweep prints byte-identical lines from cache.
+func sweepStats(s *session.Session, algo string, n int, prove func() (repro.SweepStats, error)) (repro.SweepStats, error) {
+	key := ""
+	if st := s.Store(); st != nil {
+		key = store.Key(runner.CacheVersion, struct {
+			Op   string `json:"op"`
+			Algo string `json:"algo"`
+			N    int    `json:"n"`
+		}{"sweep", algo, n})
+		if stats, ok := store.GetJSON[repro.SweepStats](st, key); ok {
+			return stats, nil
+		}
+	}
+	stats, err := prove()
+	if err != nil {
+		return repro.SweepStats{}, err
+	}
+	if key != "" {
+		store.PutJSON(s.Store(), key, stats)
+	}
+	return stats, nil
 }
 
 func parsePerm(spec string, n int, seed int64) ([]int, error) {

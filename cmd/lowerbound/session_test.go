@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/session/sessiontest"
+)
+
+// TestSessionFlagValidation drives the shared bad-combination table: this
+// binary must reject exactly what every other session-backed binary
+// rejects, with the same words.
+func TestSessionFlagValidation(t *testing.T) { sessiontest.Run(t, run) }
+
+// TestCachedOutputUnchanged pins the session port's contract: adding
+// -cache changes nothing on stdout — cold and warm runs print the same
+// bytes as a store-less run, for both the single-proof and -all paths.
+func TestCachedOutputUnchanged(t *testing.T) {
+	for _, base := range [][]string{
+		{"-algo", "yang-anderson", "-n", "4", "-seed", "3"},
+		{"-algo", "bakery", "-n", "4", "-all"},
+	} {
+		dir := t.TempDir()
+		var plain, cold, warm bytes.Buffer
+		if err := run(base, &plain); err != nil {
+			t.Fatal(err)
+		}
+		withCache := append(append([]string{}, base...), "-cache", dir)
+		if err := run(withCache, &cold); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(withCache, &warm); err != nil {
+			t.Fatal(err)
+		}
+		if plain.String() != cold.String() {
+			t.Fatalf("%v: cold cached output diverged from store-less output:\n%s\nvs\n%s", base, cold.String(), plain.String())
+		}
+		if cold.String() != warm.String() {
+			t.Fatalf("%v: warm output diverged from cold:\n%s\nvs\n%s", base, warm.String(), cold.String())
+		}
+	}
+}

@@ -8,9 +8,20 @@
 //	mutexsim -algo bakery -n 16 -sched round-robin
 //	mutexsim -algo yang-anderson -n 64 -sched random -seed 7
 //	mutexsim -algo naive -n 2 -sched round-robin      # watch the checker catch it
+//	mutexsim -algo mcs -n 8 -json                     # the canonical machine-readable
+//	                                                  # unit result (one JSON line —
+//	                                                  # byte-identical to an experimentd
+//	                                                  # response for the same unit)
+//
+// It is built on the session core (internal/session), so the canonical
+// store and profiling flags work here too: `-cache DIR` / `-store URL`
+// memoize the unit in -json mode (a warm re-run simulates nothing),
+// -capture persists the executed step trace for cmd/observe, and
+// -cpuprofile/-memprofile/-trace profile the run.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,6 +30,8 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/runner"
+	"repro/internal/session"
 	"repro/internal/trace"
 )
 
@@ -33,37 +46,60 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mutexsim", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr) // diagnostics and usage must not corrupt the data stream on w
 	var (
-		algoName  = fs.String("algo", repro.AlgoYangAnderson, "algorithm (one of: "+strings.Join(repro.Algorithms(), ", ")+")")
+		algoName  = fs.String("algo", repro.AlgoYangAnderson, "algorithm (one of: "+strings.Join(repro.Algorithms(), ", ")+", tas, mcs)")
 		n         = fs.Int("n", 8, "number of processes")
 		schedName = fs.String("sched", "round-robin", "scheduler: round-robin, random, solo, progress-first, hold-cs, greedy-cost")
 		seed      = fs.Int64("seed", 1, "seed for the random scheduler")
-		rawTrace  = fs.Bool("trace", false, "print the raw step sequence")
+		rawSteps  = fs.Bool("steps", false, "print the raw step sequence")
 		timeline  = fs.Bool("timeline", false, "print the per-process timeline (glyphs: T/E/X/Q crit, w write, r charged read, · free read)")
 		summary   = fs.Bool("summary", false, "print per-process cost summary")
+		asJSON    = fs.Bool("json", false, "emit the canonical unit result as one JSON line (the cached, servable form; experimentd returns the same bytes)")
 	)
+	sf := session.FlagConfig(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
+	s, err := session.Open(sf.Config("mutexsim"))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
 
-	f, err := repro.NewAlgorithm(*algoName, *n)
+	u := session.Unit{Algo: *algoName, N: *n, Sched: *schedName, Seed: *seed}
+	if *asJSON {
+		// The servable path: the unit goes through the session — cached,
+		// coalesced, capturable — and the result is the canonical wire form.
+		res, err := s.RunUnit(u)
+		if err != nil {
+			return err
+		}
+		return json.NewEncoder(w).Encode(res)
+	}
+
+	// The human-readable views need the execution itself (entry order,
+	// verification, timeline), which the result store does not carry, so
+	// this path always executes — through the same Job value the cached
+	// path would key.
+	j, err := u.Job()
 	if err != nil {
 		return err
 	}
-	sched, err := repro.NewSchedulerByName(*schedName, *n, *seed)
+	f, err := runner.NewFactory(j.Algo, j.N)
 	if err != nil {
 		return err
 	}
-	exec, err := repro.RunCanonical(f, sched)
+	sched, err := j.Sched.New()
 	if err != nil {
 		return err
 	}
-	rep, err := repro.MeasureCost(f, exec)
-	if err != nil {
-		return err
+	res, exec, _ := runner.ExecuteTraced(j)
+	if res.Err != nil {
+		return res.Err
 	}
+	rep := res.Report
 	fmt.Fprintf(w, "algorithm  %s\n", f.Name())
 	fmt.Fprintf(w, "scheduler  %s\n", sched.Name())
 	fmt.Fprintf(w, "cost       %s\n", rep)
@@ -75,7 +111,7 @@ func run(args []string, w io.Writer) error {
 	} else {
 		fmt.Fprintf(w, "verify     ok (replayable, well-formed, mutual exclusion, canonical)\n")
 	}
-	if *rawTrace {
+	if *rawSteps {
 		fmt.Fprintf(w, "\ntrace (%d steps):\n%s\n", len(exec), exec)
 	}
 	if *timeline {

@@ -33,8 +33,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/mutex"
 	"repro/internal/program"
-	"repro/internal/remote"
 	"repro/internal/runner"
+	"repro/internal/session"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -50,29 +50,29 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("observe", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		cacheDir  = fs.String("cache", "", "result store directory holding the blob tier (created if missing)")
-		storeURL  = fs.String("store", "", "remote result-store URL(s), comma-separated; traces are fetched from the fleet's blob tier")
 		list      = fs.Bool("list", false, "enumerate captured traces (key, algorithm, n, steps) and exit")
 		summary   = fs.Bool("summary", false, "print only the per-process summary")
 		heatmap   = fs.Bool("heatmap", false, "print only the per-register access heatmap")
 		metasteps = fs.Bool("metasteps", false, "print only the state-change (metastep) boundaries")
 		maxSteps  = fs.Int("max", 0, "cap the rendered timeline at this many steps (0 = all)")
 	)
+	sf := session.FlagConfig(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
-	st, _, err := remote.Mount(*cacheDir, *storeURL)
+	s, err := session.Open(sf.Config("observe"))
 	if err != nil {
 		return err
 	}
+	defer s.Close()
+	st := s.Store()
 	if st == nil {
 		fs.Usage()
 		return fmt.Errorf("traces live in a store: pass -cache DIR and/or -store URL")
 	}
-	defer st.Close()
 
 	if *list {
 		return listTraces(w, st)

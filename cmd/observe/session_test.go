@@ -1,0 +1,12 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/session/sessiontest"
+)
+
+// TestSessionFlagValidation drives the shared bad-combination table: this
+// binary must reject exactly what every other session-backed binary
+// rejects, with the same words.
+func TestSessionFlagValidation(t *testing.T) { sessiontest.Run(t, run) }

@@ -46,9 +46,8 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/perm"
-	"repro/internal/prof"
-	"repro/internal/remote"
 	"repro/internal/runner"
+	"repro/internal/session"
 	"repro/internal/store"
 )
 
@@ -84,36 +83,21 @@ func run(args []string, w io.Writer) error {
 		algosCSV = fs.String("algos", "yang-anderson,peterson,bakery,tas,mcs", "comma-separated algorithms")
 		nsCSV    = fs.String("ns", "", "comma-separated process counts (default 4,8,16; with -quick 4,8)")
 		seed     = fs.Int64("seed", 20060723, "seed for all candidate generation")
-		parallel = fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)")
 		ndjson   = fs.Bool("ndjson", false, "emit the summary as NDJSON rows instead of an aligned table")
-		cacheDir = fs.String("cache", "", "content-addressed result store directory (created if missing)")
-		storeURL = fs.String("store", "", "remote result-store URL(s), comma-separated (stored services, e.g. http://127.0.0.1:9200 or URL1,URL2 for a hash-routed fleet tier); with -cache, the directory becomes a local near tier")
-		shardArg = fs.String("shard", "", "i/m: run only shard i of m's (algo, n) cells into the store, no stdout")
-		mergeArg = fs.String("merge", "", "comma-separated shard store directories to fold into the store before running")
-		capture  = fs.Bool("capture", false, "persist every executed candidate's step trace into the store's blob tier (requires -cache or -store)")
 	)
-	profFlags := prof.Register(fs)
+	sf := session.FlagConfig(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
 	}
-	stopProf, err := profFlags.Start(os.Stderr)
+	s, err := session.Open(sf.Config("tournament"))
 	if err != nil {
 		return err
 	}
-	defer stopProf()
-
-	cli, err := remote.MountFlags(os.Stderr, "tournament", *cacheDir, *storeURL, *shardArg, *mergeArg)
-	if err != nil {
-		return err
-	}
-	defer cli.Close()
-	if *capture && cli.Store == nil {
-		return fmt.Errorf("-capture needs somewhere to keep traces: pass -cache or -store")
-	}
-	eng := runner.NewCached(runner.New(*parallel), cli.Store).WithShard(cli.ShardI, cli.ShardM).WithCapture(*capture)
+	defer s.Close()
+	eng := s.Engine()
 	priming := eng.Priming()
 
 	algos := splitCSV(*algosCSV)
@@ -203,7 +187,6 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	cli.PrintStats(os.Stderr, "tournament")
 	if priming {
 		return nil
 	}

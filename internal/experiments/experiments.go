@@ -59,10 +59,17 @@ type Config struct {
 	// so any row of any table can later be replayed and inspected without
 	// re-simulating. No effect without a Cache.
 	Capture bool
+	// Engine, when non-nil, is the pre-assembled cached engine every
+	// experiment fans out on — the session core passes its own here — and
+	// the Workers/Cache/Shard/Shards/Capture fields above are ignored.
+	Engine *runner.CachedEngine
 }
 
 // eng returns the engine experiments fan out on.
 func (cfg Config) eng() *runner.CachedEngine {
+	if cfg.Engine != nil {
+		return cfg.Engine
+	}
 	ce := runner.NewCached(runner.New(cfg.Workers), cfg.Cache)
 	if cfg.Shards > 0 {
 		ce = ce.WithShard(cfg.Shard, cfg.Shards)

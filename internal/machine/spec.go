@@ -61,6 +61,35 @@ func PrefixGreedySpec(prefix []int) Spec {
 	return Spec{Kind: "prefix-greedy", Prefix: cp}
 }
 
+// NamedSpec builds the Spec a CLI scheduler name denotes, with the
+// conventional parameterization every binary shares: seed drives "random",
+// n fills in "solo"'s identity order and "hold-cs"'s delay. It is the one
+// name→spec mapping in the repository — cmd/mutexsim, cmd/experimentd and
+// repro.NewSchedulerByName all resolve through it, so a scheduler name
+// means the same execution on every transport.
+func NamedSpec(name string, n int, seed int64) (Spec, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobinSpec(), nil
+	case "random":
+		return RandomSpec(seed), nil
+	case "solo":
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return SoloSpec(order), nil
+	case "progress-first":
+		return ProgressFirstSpec(), nil
+	case "hold-cs":
+		return HoldCSSpec(n), nil
+	case "greedy-cost":
+		return GreedyCostSpec(), nil
+	default:
+		return Spec{}, fmt.Errorf("unknown scheduler %q (known: round-robin, random, solo, progress-first, hold-cs, greedy-cost)", name)
+	}
+}
+
 // New constructs a fresh Scheduler for this spec. Every call returns an
 // independent instance with its own private state.
 func (sp Spec) New() (Scheduler, error) {

@@ -1,0 +1,154 @@
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Reusable Prometheus text exposition (version 0.0.4) primitives, stdlib
+// only per the zero-dependency policy. cmd/stored and cmd/experimentd both
+// render their /v1/metrics through these. Everything here is deterministic
+// in structure — endpoint names and bucket bounds are fixed slices, never
+// map iterations — so two scrapes differ only in the counter values.
+
+// nowMetrics is the clock request latency is measured on; a variable so
+// tests can pin it.
+var nowMetrics = time.Now //repro:wallclock request latency feeds the metrics surface only, never canonical output
+
+// latencyBuckets are the histogram's upper bounds in seconds (an implicit
+// +Inf bucket follows): 100µs to 2.5s, the span from an in-memory point
+// get to a full compact on a cold disk.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// latencyHistogram is one endpoint's request-duration histogram: per-bin
+// atomic counts (cumulated into Prometheus's le-labelled buckets at render
+// time), total count, and summed nanoseconds.
+type latencyHistogram struct {
+	bins     [len(latencyBuckets) + 1]atomic.Int64 // last bin is +Inf
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// observe records one request duration.
+func (h *latencyHistogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.bins[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Exposition buffers one metrics scrape. bufio errors are sticky — after
+// the first failed write every later one is a no-op and the deferred Flush
+// reports it — so each line's individual result carries no extra signal.
+type Exposition struct{ b *bufio.Writer }
+
+// NewExposition wraps w for exposition writing.
+func NewExposition(w io.Writer) *Exposition { return &Exposition{b: bufio.NewWriter(w)} }
+
+// StartExposition stamps the Prometheus content type on an HTTP response
+// and returns the Exposition that renders its body. The caller defers
+// Flush.
+func StartExposition(w http.ResponseWriter) *Exposition {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	return NewExposition(w)
+}
+
+// Flush writes the buffered scrape out, surfacing the sticky error if any
+// line failed.
+func (e *Exposition) Flush() error { return e.b.Flush() }
+
+// Emitf appends one formatted line to the scrape.
+func (e *Exposition) Emitf(format string, args ...any) {
+	fmt.Fprintf(e.b, format, args...) //repro:degrade sticky bufio error, surfaced once by the deferred Flush
+}
+
+// Gauge emits one unlabelled gauge with its HELP and TYPE lines.
+func (e *Exposition) Gauge(name, help string, v int64) {
+	e.Emitf("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// Counter emits one unlabelled counter with its HELP and TYPE lines.
+func (e *Exposition) Counter(name, help string, v int64) {
+	e.Emitf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// StoreStats emits the canonical store.Stats counter block under prefix —
+// the same ten counters whichever service mounts the store.
+func (e *Exposition) StoreStats(prefix string, st store.Stats) {
+	e.Counter(prefix+"_store_hits_total", "Store reads served without re-execution.", st.Hits)
+	e.Counter(prefix+"_store_misses_total", "Store reads that cost the caller an execution.", st.Misses)
+	e.Counter(prefix+"_store_puts_total", "Values written to the store.", st.Puts)
+	e.Counter(prefix+"_store_superseded_total", "Dead duplicate log lines (compact reclaims them).", st.Superseded)
+	e.Counter(prefix+"_store_corrupt_total", "Entries that existed but could not be decoded.", st.Corrupt)
+	e.Counter(prefix+"_store_put_errors_total", "Durable writes that failed (degraded to memory-only).", st.PutErrors)
+	e.Counter(prefix+"_store_degraded_total", "Partial write placements across tiers or replicas.", st.Degraded)
+	e.Counter(prefix+"_blob_stored_total", "Trace blobs captured into the blob tier.", st.BlobStored)
+	e.Counter(prefix+"_blob_fetched_total", "Trace blobs served from the blob tier.", st.BlobFetched)
+	e.Counter(prefix+"_blob_bytes_total", "Raw trace payload bytes moved through the blob tier.", st.BlobBytes)
+}
+
+// LatencySet is a family of request-latency histograms, one per endpoint
+// name, rendered as <prefix>_requests_total and
+// <prefix>_request_duration_seconds. The index space is the caller's
+// endpoint classification; names fixes the exposition order.
+type LatencySet struct {
+	prefix string
+	names  []string
+	hists  []latencyHistogram
+}
+
+// NewLatencySet allocates one histogram per endpoint name.
+func NewLatencySet(prefix string, names []string) *LatencySet {
+	return &LatencySet{prefix: prefix, names: names, hists: make([]latencyHistogram, len(names))}
+}
+
+// Observe records one request duration against endpoint index i.
+func (ls *LatencySet) Observe(i int, d time.Duration) { ls.hists[i].observe(d) }
+
+// Count returns the dispatch count of endpoint index i.
+func (ls *LatencySet) Count(i int) int64 { return ls.hists[i].count.Load() }
+
+// Write renders the request totals (every endpoint, silent ones included)
+// and the duration histograms (silent endpoints skipped — they would
+// quadruple the scrape for no signal).
+func (ls *LatencySet) Write(e *Exposition) {
+	e.Emitf("# HELP %s_requests_total Requests dispatched, by endpoint.\n", ls.prefix)
+	e.Emitf("# TYPE %s_requests_total counter\n", ls.prefix)
+	for i, name := range ls.names {
+		e.Emitf("%s_requests_total{endpoint=%q} %d\n", ls.prefix, name, ls.hists[i].count.Load())
+	}
+
+	e.Emitf("# HELP %s_request_duration_seconds Request latency, by endpoint.\n", ls.prefix)
+	e.Emitf("# TYPE %s_request_duration_seconds histogram\n", ls.prefix)
+	for i, name := range ls.names {
+		h := &ls.hists[i]
+		if h.count.Load() == 0 {
+			continue
+		}
+		var cum int64
+		for bi := range latencyBuckets {
+			cum += h.bins[bi].Load()
+			le := strconv.FormatFloat(latencyBuckets[bi], 'g', -1, 64)
+			e.Emitf("%s_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", ls.prefix, name, le, cum)
+		}
+		cum += h.bins[len(latencyBuckets)].Load()
+		e.Emitf("%s_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ls.prefix, name, cum)
+		e.Emitf("%s_request_duration_seconds_sum{endpoint=%q} %g\n", ls.prefix, name, float64(h.sumNanos.Load())/1e9)
+		e.Emitf("%s_request_duration_seconds_count{endpoint=%q} %d\n", ls.prefix, name, h.count.Load())
+	}
+}

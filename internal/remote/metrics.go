@@ -1,23 +1,13 @@
 package remote
 
 import (
-	"bufio"
-	"fmt"
 	"net/http"
-	"strconv"
-	"sync/atomic"
-	"time"
 )
 
-// Metrics surface: GET /v1/metrics renders the server's counters in the
-// Prometheus text exposition format (version 0.0.4), stdlib-only per the
-// zero-dependency policy. Everything here is deterministic in structure —
-// endpoint names and bucket bounds are fixed arrays, never map iterations
-// — so two scrapes differ only in the counter values.
-
-// nowMetrics is the clock request latency is measured on; a variable so
-// tests can pin it.
-var nowMetrics = time.Now //repro:wallclock request latency feeds the metrics surface only, never canonical output
+// Metrics surface: GET /v1/metrics renders the server's counters through
+// the shared exposition primitives of expo.go. The endpoint partition
+// below is stored's own; cmd/experimentd carries its own partition over
+// the same LatencySet machinery.
 
 // metricEndpoints names the latency-histogram partitions, one per /v1
 // path plus a catch-all. Order is the exposition order.
@@ -26,7 +16,7 @@ var metricEndpoints = [...]string{
 	"ring", "drain", "blob_get", "blob_put", "blob_has", "metrics", "other",
 }
 
-// numMetricEndpoints sizes the server's histogram array.
+// numMetricEndpoints sizes the server's histogram set.
 const numMetricEndpoints = 15
 
 // metricEndpointIndex classifies a request path into metricEndpoints.
@@ -65,97 +55,19 @@ func metricEndpointIndex(path string) int {
 	}
 }
 
-// latencyBuckets are the histogram's upper bounds in seconds (an implicit
-// +Inf bucket follows): 100µs to 2.5s, the span from an in-memory point
-// get to a full compact on a cold disk.
-var latencyBuckets = [...]float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
-}
-
-// latencyHistogram is one endpoint's request-duration histogram: per-bin
-// atomic counts (cumulated into Prometheus's le-labelled buckets at render
-// time), total count, and summed nanoseconds.
-type latencyHistogram struct {
-	bins     [len(latencyBuckets) + 1]atomic.Int64 // last bin is +Inf
-	count    atomic.Int64
-	sumNanos atomic.Int64
-}
-
-// observe records one request duration.
-func (h *latencyHistogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := 0
-	for i < len(latencyBuckets) && s > latencyBuckets[i] {
-		i++
-	}
-	h.bins[i].Add(1)
-	h.count.Add(1)
-	h.sumNanos.Add(int64(d))
-}
-
 // handleMetrics serves GET /v1/metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.req.metrics.Add(1)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	b := bufio.NewWriter(w)
-	defer b.Flush() //repro:degrade a response-write failure means the scraper hung up
-	// bufio errors are sticky — after the first failed write every later
-	// one is a no-op and the deferred Flush reports it — so each line's
-	// individual result carries no extra signal.
-	emit := func(format string, args ...any) {
-		fmt.Fprintf(b, format, args...) //repro:degrade sticky bufio error, surfaced once by the deferred Flush
-	}
+	e := StartExposition(w)
+	defer e.Flush() //repro:degrade a response-write failure means the scraper hung up
 
 	// Request totals come from the dispatch-time histograms, so every
 	// endpoint — stats and metrics included — counts uniformly.
-	emit("# HELP stored_requests_total Requests dispatched, by endpoint.\n")
-	emit("# TYPE stored_requests_total counter\n")
-	for i, name := range metricEndpoints {
-		emit("stored_requests_total{endpoint=%q} %d\n", name, s.lat[i].count.Load())
-	}
+	s.lat.Write(e)
 
-	emit("# HELP stored_request_duration_seconds Request latency, by endpoint.\n")
-	emit("# TYPE stored_request_duration_seconds histogram\n")
-	for i, name := range metricEndpoints {
-		h := &s.lat[i]
-		if h.count.Load() == 0 {
-			continue // silent endpoints would quadruple the scrape for no signal
-		}
-		var cum int64
-		for bi := range latencyBuckets {
-			cum += h.bins[bi].Load()
-			le := strconv.FormatFloat(latencyBuckets[bi], 'g', -1, 64)
-			emit("stored_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", name, le, cum)
-		}
-		cum += h.bins[len(latencyBuckets)].Load()
-		emit("stored_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
-		emit("stored_request_duration_seconds_sum{endpoint=%q} %g\n", name, float64(h.sumNanos.Load())/1e9)
-		emit("stored_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
-	}
-
-	gauge := func(name, help string, v int64) {
-		emit("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v int64) {
-		emit("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-
-	gauge("stored_entries", "Result entries in the durable tier.", int64(s.st.Len()))
-	gauge("stored_blob_entries", "Trace blobs in the blob tier.", int64(s.st.BlobLen()))
-	gauge("stored_ring_epoch", "Installed placement ring epoch (0 when ring-less).", int64(s.epoch()))
-	counter("stored_conflicts_total", "Overwrites that changed a key's bytes (version skew or a writer bug).", s.conflicts.Load())
-
-	st := s.st.Stats()
-	counter("stored_store_hits_total", "Store reads served without re-execution.", st.Hits)
-	counter("stored_store_misses_total", "Store reads that cost the caller an execution.", st.Misses)
-	counter("stored_store_puts_total", "Values written to the store.", st.Puts)
-	counter("stored_store_superseded_total", "Dead duplicate log lines (compact reclaims them).", st.Superseded)
-	counter("stored_store_corrupt_total", "Entries that existed but could not be decoded.", st.Corrupt)
-	counter("stored_store_put_errors_total", "Durable writes that failed (degraded to memory-only).", st.PutErrors)
-	counter("stored_store_degraded_total", "Partial write placements across tiers or replicas.", st.Degraded)
-	counter("stored_blob_stored_total", "Trace blobs captured into the blob tier.", st.BlobStored)
-	counter("stored_blob_fetched_total", "Trace blobs served from the blob tier.", st.BlobFetched)
-	counter("stored_blob_bytes_total", "Raw trace payload bytes moved through the blob tier.", st.BlobBytes)
+	e.Gauge("stored_entries", "Result entries in the durable tier.", int64(s.st.Len()))
+	e.Gauge("stored_blob_entries", "Trace blobs in the blob tier.", int64(s.st.BlobLen()))
+	e.Gauge("stored_ring_epoch", "Installed placement ring epoch (0 when ring-less).", int64(s.epoch()))
+	e.Counter("stored_conflicts_total", "Overwrites that changed a key's bytes (version skew or a writer bug).", s.conflicts.Load())
+	e.StoreStats("stored", s.st.Stats())
 }

@@ -35,7 +35,7 @@ type Server struct {
 
 	// lat holds one latency histogram per metric endpoint (see metrics.go),
 	// observed around every dispatch.
-	lat [numMetricEndpoints]latencyHistogram
+	lat *LatencySet
 
 	ringMu sync.RWMutex
 	// ring is nil until a ring is installed (flag or /v1/ring).
@@ -50,7 +50,7 @@ type Server struct {
 // store's write path but not its lifecycle — the caller still closes st
 // after the listener drains.
 func NewServer(st *store.Store) *Server {
-	s := &Server{st: st, mux: http.NewServeMux()}
+	s := &Server{st: st, mux: http.NewServeMux(), lat: NewLatencySet("stored", metricEndpoints[:])}
 	s.mux.HandleFunc("GET /v1/get", s.handleGet)
 	s.mux.HandleFunc("GET /v1/has", s.handleHas)
 	s.mux.HandleFunc("POST /v1/put", s.handlePut)
@@ -78,7 +78,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(VersionHeader, ProtocolVersion)
 	w.Header().Set(EpochHeader, strconv.FormatUint(s.epoch(), 10))
 	s.mux.ServeHTTP(w, r)
-	s.lat[metricEndpointIndex(r.URL.Path)].observe(nowMetrics().Sub(start))
+	s.lat.Observe(metricEndpointIndex(r.URL.Path), nowMetrics().Sub(start))
 }
 
 // SetSelf names this replica: the ring member identity the server drains

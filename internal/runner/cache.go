@@ -292,6 +292,31 @@ func CachedMap[T any](ce *CachedEngine, n int, key func(i int) string, fn func(i
 	}, fold)
 }
 
+// RunOne executes a single job through the store: a cache hit costs no
+// simulation, a miss executes on the calling goroutine (no worker pool —
+// request-scoped callers bring their own concurrency) and writes straight
+// back so the result is immediately visible to every other goroutine
+// sharing the store. Unlike the fan-out paths there is no write buffering:
+// one unit is one put. Safe for concurrent use — the engine's fields are
+// immutable after construction and the store is goroutine-safe. Errors are
+// returned, never cached, exactly like the batch paths.
+func (c *CachedEngine) RunOne(j Job) (cost.Report, error) {
+	if c.cache == nil {
+		r := Execute(j)
+		return r.Report, r.Err
+	}
+	k := j.CacheKey()
+	if p, ok := store.GetJSON[jobPayload](c.cache, k); ok {
+		return p.Report, nil
+	}
+	r := c.executeJob(k, j)
+	if r.Err != nil {
+		return cost.Report{}, r.Err
+	}
+	store.PutJSON(c.cache, k, jobPayload{Report: r.Report})
+	return r.Report, nil
+}
+
 // jobKeyParts is the canonical content of a Job key. Horizon is hashed as
 // given (0 and an explicit machine.DefaultHorizon(N) are conservatively
 // distinct keys).

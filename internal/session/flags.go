@@ -1,0 +1,53 @@
+package session
+
+import (
+	"flag"
+
+	"repro/internal/prof"
+)
+
+// Flags binds the canonical store/engine/profiling flag surface — the
+// quartet -cache/-store/-shard/-merge plus -capture, -parallel, and the
+// pprof trio — onto one flag set. Every experiment-facing binary mounts
+// this exact set through FlagConfig, so the help text, the accepted
+// combinations, and the validation errors are identical across binaries by
+// construction instead of by convention: flag-surface drift is now a
+// compile-time impossibility rather than a review item.
+type Flags struct {
+	cacheDir *string
+	storeURL *string
+	shardArg *string
+	mergeArg *string
+	capture  *bool
+	parallel *int
+	prof     *prof.Flags
+}
+
+// FlagConfig registers the canonical flag set on fs. Parse fs before
+// calling Config.
+func FlagConfig(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cacheDir: fs.String("cache", "", "content-addressed result store directory (created if missing)"),
+		storeURL: fs.String("store", "", "remote result-store URL(s), comma-separated (stored services, e.g. http://127.0.0.1:9200 or URL1,URL2 for a hash-routed fleet tier); with -cache, the directory becomes a local near tier"),
+		shardArg: fs.String("shard", "", "i/m: prime only shard i of m's keys into the store and print no data output"),
+		mergeArg: fs.String("merge", "", "comma-separated shard store directories to fold into the store before running"),
+		capture:  fs.Bool("capture", false, "persist every executed unit's step trace into the store's blob tier (requires -cache or -store)"),
+		parallel: fs.Int("parallel", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential (identical output)"),
+		prof:     prof.Register(fs),
+	}
+}
+
+// Config resolves the parsed flags into the Session config for prog.
+// Diag defaults to os.Stderr; override it on the returned value for tests.
+func (f *Flags) Config(prog string) Config {
+	return Config{
+		Prog:     prog,
+		CacheDir: *f.cacheDir,
+		StoreURL: *f.storeURL,
+		Shard:    *f.shardArg,
+		Merge:    *f.mergeArg,
+		Capture:  *f.capture,
+		Parallel: *f.parallel,
+		Prof:     f.prof,
+	}
+}

@@ -1,0 +1,64 @@
+// Package sessiontest is the shared conformance table for every binary
+// built on internal/session: one list of bad flag combinations with the
+// exact error text the canonical validation path produces. Each cmd
+// package's test calls Run with its own run function, so a binary that
+// drifts off the session core — re-registering a flag, hand-rolling a
+// validation — fails this table before any reviewer sees the divergence.
+package sessiontest
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// tempDirToken marks an argument the harness replaces with a per-case
+// temporary directory, so table cases can say "-cache <a real dir>"
+// without hardcoding paths.
+const tempDirToken = "@TMPDIR"
+
+// cases are the canonical rejections. WantErr is matched as a substring
+// of err.Error() — but the full text is asserted by the session package's
+// own tests, so binaries inherit exactness transitively.
+var cases = []struct {
+	name    string
+	args    []string
+	wantErr string
+}{
+	{"unknown-flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined: -definitely-not-a-flag"},
+	{"merge-without-store", []string{"-merge", "d1,d2"}, "-merge requires -cache or -store"},
+	{"shard-without-store", []string{"-shard", "1/2"}, "-shard requires -cache or -store"},
+	{"merge-and-shard", []string{"-cache", tempDirToken, "-merge", "d1", "-shard", "1/2"}, "-merge and -shard are mutually exclusive (merge replays the full run)"},
+	{"capture-without-store", []string{"-capture"}, "-capture requires -cache or -store"},
+	{"bad-shard-spec", []string{"-cache", tempDirToken, "-shard", "0"}, `store: bad shard "0": want i/m, e.g. 1/3`},
+}
+
+// Run drives every table case through one binary's run function. The
+// binary must reject each invocation with the canonical error before
+// producing any data output.
+func Run(t *testing.T, run func(args []string, w io.Writer) error) {
+	t.Helper()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := make([]string, len(tc.args))
+			for i, a := range tc.args {
+				if a == tempDirToken {
+					a = t.TempDir()
+				}
+				args[i] = a
+			}
+			var buf bytes.Buffer
+			err := run(args, &buf)
+			if err == nil {
+				t.Fatalf("%v accepted; want error containing %q", args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("%v: error %q does not contain %q", args, err, tc.wantErr)
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("%v: wrote %d bytes of data output before failing validation", args, buf.Len())
+			}
+		})
+	}
+}

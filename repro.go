@@ -141,22 +141,11 @@ func NewGreedyCost() Scheduler { return machine.NewGreedyCost() }
 // parameterizes "random"; n parameterizes "solo" (identity order) and
 // "hold-cs" (delay).
 func NewSchedulerByName(name string, n int, seed int64) (Scheduler, error) {
-	switch name {
-	case "round-robin":
-		return NewRoundRobin(), nil
-	case "random":
-		return NewRandomScheduler(seed), nil
-	case "solo":
-		return NewSolo(perm.Identity(n)), nil
-	case "progress-first":
-		return NewProgressFirst(), nil
-	case "hold-cs":
-		return NewHoldCS(n), nil
-	case "greedy-cost":
-		return NewGreedyCost(), nil
-	default:
-		return nil, fmt.Errorf("repro: unknown scheduler %q", name)
+	sp, err := machine.NamedSpec(name, n, seed)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
 	}
+	return sp.New()
 }
 
 // RunCanonical runs a canonical execution (every process completes exactly

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench_serve.sh — measure the serving path end to end and emit
+# BENCH_serve.json: a routed two-stored fleet, one experimentd mounted on
+# it, and cmd/loadgen driving Poisson-burst arrivals with Zipf-skewed hot
+# units. Two measured passes over the same seeded request sequence:
+#
+#   cold  — empty fleet: misses execute, the hit rate is the skew's work
+#   warm  — same sequence again: everything is served from the fleet
+#
+# Usage: scripts/bench_serve.sh [output.json]
+#
+# The output is {"go":version, "cold":{...}, "warm":{...}} where each row
+# is cmd/loadgen's -json report (p50/p90/p99 latency, hit rate, 429 and
+# coalescing counts). Latencies are machine-dependent like every BENCH_*
+# file; the hit-rate and rejection fields are the load-bearing ones. No
+# timestamps are embedded.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_serve.json}"
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/stored" ./cmd/stored
+go build -o "$work/experimentd" ./cmd/experimentd
+go build -o "$work/loadgen" ./cmd/loadgen
+
+scrape_addr() { # logfile — first line is "<prog>: listening on http://ADDR"
+  for _ in $(seq 1 50); do
+    addr="$(head -1 "$1" 2>/dev/null | sed -n 's/.*listening on //p')"
+    [ -n "$addr" ] && { echo "$addr"; return; }
+    sleep 0.1
+  done
+  echo "bench_serve: $1 never published an address" >&2
+  exit 1
+}
+
+# --- the fleet: two stored instances, hash-routed by the client ---------
+"$work/stored" -dir "$work/s1" -addr 127.0.0.1:0 >"$work/s1.log" 2>&1 &
+pids+=($!)
+"$work/stored" -dir "$work/s2" -addr 127.0.0.1:0 >"$work/s2.log" 2>&1 &
+pids+=($!)
+u1="$(scrape_addr "$work/s1.log")"
+u2="$(scrape_addr "$work/s2.log")"
+
+# --- the service: one experimentd over the routed fleet -----------------
+"$work/experimentd" -addr 127.0.0.1:0 -store "$u1,$u2" -queue 256 >"$work/d.log" 2>&1 &
+pids+=($!)
+target="$(scrape_addr "$work/d.log")"
+
+echo "bench_serve: fleet $u1 + $u2, experimentd $target" >&2
+
+LOAD="-target $target -requests 400 -rate 300 -burst 6 -skew 1.2 -seed 20060723 -json"
+# shellcheck disable=SC2086
+cold="$("$work/loadgen" $LOAD)"
+echo "bench_serve: cold pass done" >&2
+# shellcheck disable=SC2086
+warm="$("$work/loadgen" $LOAD)"
+echo "bench_serve: warm pass done" >&2
+
+go_version="$(go env GOVERSION)"
+printf '{"go":"%s",\n"cold":%s,\n"warm":%s}\n' "$go_version" "$cold" "$warm" >"$out"
+echo "wrote $out:" >&2
+cat "$out" >&2
